@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks over the hot paths of the CLM reproduction:
+//! frustum culling, visibility-set algebra, cache planning, TSP ordering,
+//! the differentiable renderer and the batch-level pipeline simulation that
+//! every figure of the paper is derived from.
+
+use clm_core::{
+    batch_fetch_bytes, order_batch, simulate_batch, synthetic_microbatch_stats, DistanceMatrix,
+    FinalizationPlan, OrderingStrategy, SceneProfile, SystemKind, TspConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gs_core::cull_frustum;
+use gs_render::{l1_loss, render, render_backward, RenderOptions};
+use gs_scene::{generate_dataset, DatasetConfig, SceneKind, SceneSpec};
+use sim_device::DeviceProfile;
+use std::hint::black_box;
+
+fn bench_dataset() -> gs_scene::Dataset {
+    generate_dataset(
+        &SceneSpec::of(SceneKind::Rubble),
+        &DatasetConfig {
+            num_gaussians: 3_000,
+            num_views: 32,
+            width: 48,
+            height: 36,
+            seed: 1,
+        },
+    )
+}
+
+fn bigcity_profile() -> SceneProfile {
+    SceneProfile {
+        name: "BigCity".into(),
+        resolution: (1920, 1080),
+        batch_size: 64,
+        rho_mean: 0.0039,
+        rho_max: 0.0106,
+        cache_hit_rate: 0.15,
+        overlap_fraction: 0.6,
+    }
+}
+
+/// Frustum culling over selection-critical attributes (the per-view step
+/// CLM runs ahead of every batch).
+fn bench_frustum_culling(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    c.bench_function("frustum_culling_3k_gaussians", |b| {
+        b.iter(|| {
+            black_box(cull_frustum(
+                black_box(&dataset.ground_truth),
+                black_box(&dataset.cameras[0]),
+            ))
+        })
+    });
+}
+
+/// Visibility-set algebra and cache planning (Figure 14's inner loop).
+fn bench_cache_planning(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let sets = dataset.visibility_sets(&dataset.ground_truth);
+    c.bench_function("cache_plan_batch_of_8", |b| {
+        b.iter(|| black_box(batch_fetch_bytes(black_box(&sets[..8]))))
+    });
+    c.bench_function("finalization_plan_batch_of_8", |b| {
+        b.iter(|| black_box(FinalizationPlan::new(black_box(&sets[..8]))))
+    });
+}
+
+/// TSP ordering (§4.2.3) for the batch sizes used in the paper.
+fn bench_tsp_ordering(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let sets = dataset.visibility_sets(&dataset.ground_truth);
+    let mut group = c.benchmark_group("tsp_order");
+    for &batch in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let chunk = &sets[..batch];
+            b.iter(|| {
+                let matrix = DistanceMatrix::from_visibility(black_box(chunk));
+                black_box(clm_core::solve(&matrix, &TspConfig::default()))
+            })
+        });
+    }
+    group.finish();
+    c.bench_function("ordering_strategies_batch_of_8", |b| {
+        let chunk = &sets[..8];
+        let cams = &dataset.cameras[..8];
+        b.iter(|| {
+            for strategy in OrderingStrategy::ALL {
+                black_box(order_batch(strategy, cams, chunk, 3));
+            }
+        })
+    });
+}
+
+/// Differentiable renderer forward and backward (the stand-in for the gsplat
+/// kernels that dominate 3DGS training time).
+fn bench_renderer(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let camera = &dataset.cameras[0];
+    let visible = cull_frustum(&dataset.ground_truth, camera);
+    let options = RenderOptions {
+        background: [0.0; 3],
+        visible: Some(visible.indices().to_vec()),
+    };
+    c.bench_function("render_forward_48x36", |b| {
+        b.iter(|| black_box(render(&dataset.ground_truth, camera, &options)))
+    });
+    let out = render(&dataset.ground_truth, camera, &options);
+    let target = gs_render::Image::filled(48, 36, [0.2, 0.2, 0.2]);
+    let loss = l1_loss(&out.image, &target);
+    c.bench_function("render_backward_48x36", |b| {
+        b.iter(|| {
+            black_box(render_backward(
+                &dataset.ground_truth,
+                camera,
+                &out.aux,
+                &loss.d_image,
+            ))
+        })
+    });
+}
+
+/// Batch-level pipeline simulation per system (what Figures 11–13 are built
+/// from).
+fn bench_pipeline_simulation(c: &mut Criterion) {
+    let device = DeviceProfile::rtx4090();
+    let scene = bigcity_profile();
+    let n = 46_000_000u64;
+    let stats = synthetic_microbatch_stats(&scene, n, true);
+    let mut group = c.benchmark_group("simulate_batch");
+    for system in SystemKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{system}")),
+            &system,
+            |b, &system| {
+                b.iter(|| black_box(simulate_batch(system, &device, &scene, n, &stats)))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Max-model-size search (Figure 8's inner loop).
+fn bench_max_model_size(c: &mut Criterion) {
+    let device = DeviceProfile::rtx4090();
+    let scene = bigcity_profile();
+    c.bench_function("max_trainable_gaussians_clm", |b| {
+        b.iter(|| {
+            black_box(clm_core::max_trainable_gaussians(
+                SystemKind::Clm,
+                &device,
+                &scene,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_frustum_culling, bench_cache_planning, bench_tsp_ordering,
+              bench_renderer, bench_pipeline_simulation, bench_max_model_size
+}
+criterion_main!(benches);

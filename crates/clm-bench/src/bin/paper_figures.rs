@@ -1,0 +1,15 @@
+//! Regenerates every table and figure of the CLM paper's evaluation.
+//!
+//! Usage: `cargo run --release -p clm-bench --bin paper_figures [-- <id>...]`
+//! where `<id>` is e.g. `figure8` or `table5`; with no arguments every
+//! experiment is generated in paper order.
+fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    for (id, generate) in clm_bench::all_reports() {
+        if requested.is_empty() || requested.iter().any(|r| r == id) {
+            println!("==== {id} ====");
+            print!("{}", generate());
+            println!();
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates one artefact of the CLM paper's evaluation; see EXPERIMENTS.md.
+fn main() {
+    print!("{}", clm_bench::report_table5_ordering_strategies());
+}

@@ -1,0 +1,254 @@
+//! Micro-batch ordering strategies (§4.2.3, Table 4).
+//!
+//! The order in which a batch's micro-batches are processed does not change
+//! the computed gradients (they are accumulated before the optimiser step),
+//! but it determines how effective Gaussian caching and overlapped CPU Adam
+//! are.  The paper ablates four strategies, all reproduced here.
+
+use crate::tsp::{solve, DistanceMatrix, TspConfig};
+use gs_core::camera::Camera;
+use gs_core::visibility::VisibilitySet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The ordering strategies of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderingStrategy {
+    /// Shuffle views uniformly at random (the default in existing systems).
+    Random,
+    /// Sort views by their camera-centre coordinate along the scene's
+    /// principal axis.
+    Camera,
+    /// Sort views descending by the number of visible Gaussians, so CPU Adam
+    /// can finalise more Gaussians earlier.
+    GsCount,
+    /// Maximise Gaussian overlap between successive views by solving a TSP
+    /// over symmetric-difference distances (what CLM uses).
+    Tsp,
+}
+
+impl OrderingStrategy {
+    /// All strategies in the order the paper reports them.
+    pub const ALL: [OrderingStrategy; 4] = [
+        OrderingStrategy::Random,
+        OrderingStrategy::Camera,
+        OrderingStrategy::GsCount,
+        OrderingStrategy::Tsp,
+    ];
+}
+
+impl std::fmt::Display for OrderingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OrderingStrategy::Random => "Random Order",
+            OrderingStrategy::Camera => "Camera Order",
+            OrderingStrategy::GsCount => "GS Count Order",
+            OrderingStrategy::Tsp => "TSP Order (CLM)",
+        })
+    }
+}
+
+/// Orders the micro-batches of one batch.
+///
+/// `cameras` and `visibility` describe the views of the batch (parallel
+/// slices); the return value is a permutation of `0..n` giving the
+/// processing order.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn order_batch(
+    strategy: OrderingStrategy,
+    cameras: &[Camera],
+    visibility: &[VisibilitySet],
+    seed: u64,
+) -> Vec<usize> {
+    assert_eq!(
+        cameras.len(),
+        visibility.len(),
+        "need one visibility set per camera"
+    );
+    let n = cameras.len();
+    match strategy {
+        OrderingStrategy::Random => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut StdRng::seed_from_u64(seed));
+            order
+        }
+        OrderingStrategy::Camera => {
+            let axis = principal_axis(cameras);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                let ca = camera_coordinate(&cameras[a], axis);
+                let cb = camera_coordinate(&cameras[b], axis);
+                ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            order
+        }
+        OrderingStrategy::GsCount => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| visibility[b].len().cmp(&visibility[a].len()));
+            order
+        }
+        OrderingStrategy::Tsp => {
+            let matrix = DistanceMatrix::from_visibility(visibility);
+            solve(&matrix, &TspConfig { seed, ..Default::default() }).tour
+        }
+    }
+}
+
+/// Picks the coordinate axis (0 = x, 1 = y, 2 = z) along which the camera
+/// centres have the largest variance — the "scene's principal axis" used by
+/// the Camera ordering.
+fn principal_axis(cameras: &[Camera]) -> usize {
+    if cameras.is_empty() {
+        return 0;
+    }
+    let centers: Vec<[f32; 3]> = cameras.iter().map(|c| c.center().to_array()).collect();
+    let n = centers.len() as f32;
+    let mut best_axis = 0;
+    let mut best_var = f32::MIN;
+    for axis in 0..3 {
+        let mean: f32 = centers.iter().map(|c| c[axis]).sum::<f32>() / n;
+        let var: f32 = centers.iter().map(|c| (c[axis] - mean).powi(2)).sum::<f32>() / n;
+        if var > best_var {
+            best_var = var;
+            best_axis = axis;
+        }
+    }
+    best_axis
+}
+
+fn camera_coordinate(camera: &Camera, axis: usize) -> f32 {
+    camera.center().to_array()[axis]
+}
+
+/// Total parameter bytes fetched per batch for a given processing order
+/// (with Gaussian caching) — the metric of Figure 14.
+pub fn ordered_fetch_bytes(visibility: &[VisibilitySet], order: &[usize]) -> u64 {
+    let ordered: Vec<VisibilitySet> = order.iter().map(|&i| visibility[i].clone()).collect();
+    crate::cache::batch_fetch_bytes(&ordered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::camera::CameraIntrinsics;
+    use gs_core::math::Vec3;
+
+    fn cameras_on_line(n: usize) -> Vec<Camera> {
+        (0..n)
+            .map(|i| {
+                Camera::look_at(
+                    Vec3::new(i as f32 * 2.0, 1.0, -5.0),
+                    Vec3::new(i as f32 * 2.0, 0.0, 0.0),
+                    Vec3::Y,
+                    CameraIntrinsics::simple(32, 24, 1.0),
+                )
+            })
+            .collect()
+    }
+
+    fn overlapping_sets(n: usize) -> Vec<VisibilitySet> {
+        (0..n)
+            .map(|i| VisibilitySet::from_unsorted(((i * 10) as u32..(i * 10 + 30) as u32).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn every_strategy_returns_a_permutation() {
+        let cameras = cameras_on_line(6);
+        let sets = overlapping_sets(6);
+        for strategy in OrderingStrategy::ALL {
+            let order = order_batch(strategy, &cameras, &sets, 3);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..6).collect::<Vec<_>>(), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn camera_order_sorts_along_principal_axis() {
+        let cameras = cameras_on_line(5);
+        let sets = overlapping_sets(5);
+        // Shuffle-resistant: the cameras are already on a line along x, so
+        // Camera order must return them monotonically in x.
+        let order = order_batch(OrderingStrategy::Camera, &cameras, &sets, 0);
+        let xs: Vec<f32> = order.iter().map(|&i| cameras[i].center().x).collect();
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]), "{xs:?}");
+    }
+
+    #[test]
+    fn gs_count_order_is_descending_by_visibility() {
+        let cameras = cameras_on_line(4);
+        let sets = vec![
+            VisibilitySet::from_unsorted((0..5).collect()),
+            VisibilitySet::from_unsorted((0..50).collect()),
+            VisibilitySet::from_unsorted((0..20).collect()),
+            VisibilitySet::from_unsorted((0..35).collect()),
+        ];
+        let order = order_batch(OrderingStrategy::GsCount, &cameras, &sets, 0);
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn random_order_is_deterministic_per_seed() {
+        let cameras = cameras_on_line(8);
+        let sets = overlapping_sets(8);
+        let a = order_batch(OrderingStrategy::Random, &cameras, &sets, 5);
+        let b = order_batch(OrderingStrategy::Random, &cameras, &sets, 5);
+        let c = order_batch(OrderingStrategy::Random, &cameras, &sets, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tsp_order_minimizes_fetch_bytes_among_strategies() {
+        // Build a batch whose natural order is scrambled; TSP should fetch
+        // no more than any other strategy (Figure 14's headline claim).
+        let cameras = cameras_on_line(8);
+        let mut sets = overlapping_sets(8);
+        // Scramble the natural locality.
+        sets.swap(0, 5);
+        sets.swap(2, 7);
+        let fetch = |strategy| {
+            let order = order_batch(strategy, &cameras, &sets, 1);
+            ordered_fetch_bytes(&sets, &order)
+        };
+        let tsp = fetch(OrderingStrategy::Tsp);
+        for strategy in [OrderingStrategy::Random, OrderingStrategy::GsCount] {
+            assert!(
+                tsp <= fetch(strategy),
+                "TSP ({tsp}) fetched more than {strategy}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_does_not_change_which_gaussians_are_touched() {
+        // Correctness argument of §4.2.3: the union of visibility sets (and
+        // hence the accumulated gradient support) is order-invariant.
+        let cameras = cameras_on_line(6);
+        let sets = overlapping_sets(6);
+        let union_of = |order: &[usize]| {
+            let mut u = VisibilitySet::new();
+            for &i in order {
+                u = u.union(&sets[i]);
+            }
+            u
+        };
+        let baseline = union_of(&(0..6).collect::<Vec<_>>());
+        for strategy in OrderingStrategy::ALL {
+            let order = order_batch(strategy, &cameras, &sets, 9);
+            assert_eq!(union_of(&order), baseline, "{strategy}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one visibility set per camera")]
+    fn mismatched_inputs_panic() {
+        let cameras = cameras_on_line(3);
+        let sets = overlapping_sets(2);
+        let _ = order_batch(OrderingStrategy::Random, &cameras, &sets, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Overlapped CPU Adam planning (§4.2.2).
+//!
+//! Within a batch, the last micro-batch that touches a Gaussian `g` is
+//! `L_g = max{ i | g ∈ S_i }`.  After micro-batch `L_g` finishes, `g`'s
+//! accumulated gradient is final, so its Adam update can run on the CPU
+//! thread while later micro-batches are still computing on the GPU.  Only
+//! Gaussians finalised by the *last* micro-batch cannot be overlapped.
+//! [`FinalizationPlan`] groups the batch's Gaussians by their finalising
+//! micro-batch.
+
+use gs_core::visibility::VisibilitySet;
+
+/// Grouping of a batch's touched Gaussians by the micro-batch that
+/// finalises them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinalizationPlan {
+    /// `groups[i]` = Gaussians whose last access is micro-batch `i`
+    /// (in processing order).
+    groups: Vec<VisibilitySet>,
+}
+
+impl FinalizationPlan {
+    /// Builds the plan from the batch's visibility sets **in processing
+    /// order**.
+    pub fn new(ordered_sets: &[VisibilitySet]) -> Self {
+        let n = ordered_sets.len();
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // A Gaussian is finalised by the last set containing it: walk from
+        // the back and keep the first (i.e. latest) occurrence.
+        let mut assigned = VisibilitySet::new();
+        for i in (0..n).rev() {
+            let fresh = ordered_sets[i].difference(&assigned);
+            groups[i] = fresh.indices().to_vec();
+            assigned = assigned.union(&fresh);
+        }
+        FinalizationPlan {
+            groups: groups.into_iter().map(VisibilitySet::from_sorted).collect(),
+        }
+    }
+
+    /// Number of micro-batches covered by the plan.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the plan covers no micro-batches.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Gaussians finalised by micro-batch `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn finalized_by(&self, i: usize) -> &VisibilitySet {
+        &self.groups[i]
+    }
+
+    /// All groups in processing order.
+    pub fn groups(&self) -> &[VisibilitySet] {
+        &self.groups
+    }
+
+    /// Total number of distinct Gaussians touched by the batch.
+    pub fn total_touched(&self) -> usize {
+        self.groups.iter().map(VisibilitySet::len).sum()
+    }
+
+    /// Number of Gaussians whose CPU Adam update can be overlapped with
+    /// later GPU work (everything not finalised by the last micro-batch).
+    pub fn overlappable(&self) -> usize {
+        if self.groups.is_empty() {
+            0
+        } else {
+            self.total_touched() - self.groups.last().unwrap().len()
+        }
+    }
+
+    /// Fraction of touched Gaussians whose update can be overlapped.
+    pub fn overlap_fraction(&self) -> f64 {
+        let total = self.total_touched();
+        if total == 0 {
+            0.0
+        } else {
+            self.overlappable() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn set(v: &[u32]) -> VisibilitySet {
+        VisibilitySet::from_unsorted(v.to_vec())
+    }
+
+    #[test]
+    fn finalization_groups_by_last_access() {
+        // Gaussian 1 appears only in micro-batch 0; 2 in 0 and 1; 3 in 1 and
+        // 2; 4 only in 2.
+        let sets = vec![set(&[1, 2]), set(&[2, 3]), set(&[3, 4])];
+        let plan = FinalizationPlan::new(&sets);
+        assert_eq!(plan.finalized_by(0).indices(), &[1]);
+        assert_eq!(plan.finalized_by(1).indices(), &[2]);
+        assert_eq!(plan.finalized_by(2).indices(), &[3, 4]);
+        assert_eq!(plan.total_touched(), 4);
+        assert_eq!(plan.overlappable(), 2);
+        assert!((plan.overlap_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn groups_are_disjoint_and_cover_the_union() {
+        let sets = vec![set(&[1, 2, 3]), set(&[3, 4]), set(&[1, 5])];
+        let plan = FinalizationPlan::new(&sets);
+        let mut union = VisibilitySet::new();
+        for g in plan.groups() {
+            assert_eq!(union.intersection_len(g), 0, "groups must be disjoint");
+            union = union.union(g);
+        }
+        let mut expected = VisibilitySet::new();
+        for s in &sets {
+            expected = expected.union(s);
+        }
+        assert_eq!(union, expected);
+        // Gaussian 1 reappears in the last micro-batch, so it is finalised
+        // there, not in micro-batch 0.
+        assert!(plan.finalized_by(2).contains(1));
+        assert!(!plan.finalized_by(0).contains(1));
+    }
+
+    #[test]
+    fn single_microbatch_has_no_overlap_opportunity() {
+        let plan = FinalizationPlan::new(&[set(&[1, 2, 3])]);
+        assert_eq!(plan.overlappable(), 0);
+        assert_eq!(plan.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let plan = FinalizationPlan::new(&[]);
+        assert!(plan.is_empty());
+        assert_eq!(plan.total_touched(), 0);
+        assert_eq!(plan.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_microbatches_overlap_everything_but_the_last() {
+        let sets = vec![set(&[1, 2]), set(&[3, 4]), set(&[5, 6])];
+        let plan = FinalizationPlan::new(&sets);
+        assert_eq!(plan.overlappable(), 4);
+        assert_eq!(plan.finalized_by(0), &sets[0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_groups_partition_the_union(
+            raw in proptest::collection::vec(proptest::collection::vec(0u32..80, 0..40), 1..10)
+        ) {
+            let sets: Vec<VisibilitySet> =
+                raw.into_iter().map(VisibilitySet::from_unsorted).collect();
+            let plan = FinalizationPlan::new(&sets);
+            prop_assert_eq!(plan.len(), sets.len());
+            let mut union = VisibilitySet::new();
+            let mut total = 0usize;
+            for g in plan.groups() {
+                prop_assert_eq!(union.intersection_len(g), 0);
+                union = union.union(g);
+                total += g.len();
+            }
+            let mut expected = VisibilitySet::new();
+            for s in &sets {
+                expected = expected.union(s);
+            }
+            prop_assert_eq!(&union, &expected);
+            prop_assert_eq!(total, expected.len());
+            // Every Gaussian in group i is indeed in S_i and in no later set.
+            for (i, g) in plan.groups().iter().enumerate() {
+                prop_assert_eq!(g.intersection_len(&sets[i]), g.len());
+                for later in &sets[i + 1..] {
+                    prop_assert_eq!(g.intersection_len(later), 0);
+                }
+            }
+        }
+    }
+}

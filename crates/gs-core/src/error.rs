@@ -1,0 +1,71 @@
+//! Error type shared by the gs-core public API.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the 3DGS core data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GsError {
+    /// An index referred to a Gaussian that does not exist.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of Gaussians in the model.
+        len: usize,
+    },
+    /// Two containers that must describe the same Gaussians had different
+    /// lengths.
+    LengthMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Actual number of elements.
+        actual: usize,
+    },
+    /// A parameter fell outside its valid range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for GsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsError::IndexOutOfBounds { index, len } => {
+                write!(f, "gaussian index {index} out of bounds for model of length {len}")
+            }
+            GsError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            GsError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GsError::IndexOutOfBounds { index: 7, len: 3 };
+        assert_eq!(e.to_string(), "gaussian index 7 out of bounds for model of length 3");
+        let e = GsError::LengthMismatch { expected: 2, actual: 5 };
+        assert!(e.to_string().contains("expected 2"));
+        let e = GsError::InvalidParameter { name: "sigma", message: "must be positive".into() };
+        assert!(e.to_string().contains("sigma"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<GsError>();
+    }
+}

@@ -1,0 +1,246 @@
+//! Spherical-harmonics (SH) colour evaluation for 3D Gaussian Splatting.
+//!
+//! Each Gaussian stores 16 SH coefficients per colour channel (degree 3),
+//! i.e. 48 floats, which are evaluated along the camera→Gaussian viewing
+//! direction to produce a view-dependent RGB colour.  The constants match
+//! the reference 3DGS / gsplat implementations.
+
+use crate::math::Vec3;
+
+/// Number of SH coefficients per colour channel at degree 3 (`(3+1)² = 16`).
+pub const NUM_SH_COEFFS: usize = 16;
+
+/// Maximum supported SH degree.
+pub const MAX_SH_DEGREE: usize = 3;
+
+// Real SH basis constants (same values as the reference CUDA implementation).
+const SH_C0: f32 = 0.282_094_79;
+const SH_C1: f32 = 0.488_602_51;
+const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C3: [f32; 7] = [
+    -0.590_043_6,
+    2.890_611_4,
+    -0.457_045_8,
+    0.373_176_33,
+    -0.457_045_8,
+    1.445_305_7,
+    -0.590_043_6,
+];
+
+/// Evaluates the real SH basis functions for `degree` in direction `dir`
+/// (which is normalised internally), writing the first
+/// `(degree+1)²` values of `basis`.
+///
+/// # Panics
+/// Panics if `degree > 3`.
+pub fn sh_basis(degree: usize, dir: Vec3, basis: &mut [f32; NUM_SH_COEFFS]) {
+    assert!(degree <= MAX_SH_DEGREE, "SH degree {degree} not supported (max 3)");
+    let d = dir.normalized();
+    let (x, y, z) = (d.x, d.y, d.z);
+    basis.fill(0.0);
+    basis[0] = SH_C0;
+    if degree >= 1 {
+        basis[1] = -SH_C1 * y;
+        basis[2] = SH_C1 * z;
+        basis[3] = -SH_C1 * x;
+    }
+    if degree >= 2 {
+        let (xx, yy, zz) = (x * x, y * y, z * z);
+        let (xy, yz, xz) = (x * y, y * z, x * z);
+        basis[4] = SH_C2[0] * xy;
+        basis[5] = SH_C2[1] * yz;
+        basis[6] = SH_C2[2] * (2.0 * zz - xx - yy);
+        basis[7] = SH_C2[3] * xz;
+        basis[8] = SH_C2[4] * (xx - yy);
+    }
+    if degree >= 3 {
+        let (xx, yy, zz) = (x * x, y * y, z * z);
+        basis[9] = SH_C3[0] * y * (3.0 * xx - yy);
+        basis[10] = SH_C3[1] * x * y * z;
+        basis[11] = SH_C3[2] * y * (4.0 * zz - xx - yy);
+        basis[12] = SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy);
+        basis[13] = SH_C3[4] * x * (4.0 * zz - xx - yy);
+        basis[14] = SH_C3[5] * z * (xx - yy);
+        basis[15] = SH_C3[6] * x * (xx - 3.0 * yy);
+    }
+}
+
+/// Evaluates an RGB colour from 48 SH coefficients (16 per channel, stored
+/// channel-major: `[r0..r15, g0..g15, b0..b15]`) in view direction `dir`.
+///
+/// Following the reference implementation a `+0.5` offset is applied and the
+/// result clamped to be non-negative.
+pub fn eval_sh_color(degree: usize, coeffs: &[f32], dir: Vec3) -> [f32; 3] {
+    assert!(
+        coeffs.len() >= 3 * NUM_SH_COEFFS,
+        "expected {} SH floats, got {}",
+        3 * NUM_SH_COEFFS,
+        coeffs.len()
+    );
+    let mut basis = [0.0f32; NUM_SH_COEFFS];
+    sh_basis(degree, dir, &mut basis);
+    let mut rgb = [0.0f32; 3];
+    for (channel, value) in rgb.iter_mut().enumerate() {
+        let offset = channel * NUM_SH_COEFFS;
+        let mut acc = 0.0;
+        for i in 0..NUM_SH_COEFFS {
+            acc += basis[i] * coeffs[offset + i];
+        }
+        *value = (acc + 0.5).max(0.0);
+    }
+    rgb
+}
+
+/// Gradient of [`eval_sh_color`] with respect to the SH coefficients.
+///
+/// Given `d_rgb` (the upstream gradient of the colour), accumulates
+/// `d_color/d_coeff` into `d_coeffs` (48 floats, channel-major).  The
+/// gradient of a clamped-to-zero channel is zero, matching the forward
+/// `max(·, 0)`.
+pub fn eval_sh_color_backward(
+    degree: usize,
+    coeffs: &[f32],
+    dir: Vec3,
+    d_rgb: [f32; 3],
+    d_coeffs: &mut [f32],
+) {
+    assert!(d_coeffs.len() >= 3 * NUM_SH_COEFFS);
+    let mut basis = [0.0f32; NUM_SH_COEFFS];
+    sh_basis(degree, dir, &mut basis);
+    for channel in 0..3 {
+        let offset = channel * NUM_SH_COEFFS;
+        // Recompute the pre-clamp value to honour the ReLU-like clamp.
+        let mut acc = 0.0;
+        for i in 0..NUM_SH_COEFFS {
+            acc += basis[i] * coeffs[offset + i];
+        }
+        if acc + 0.5 <= 0.0 {
+            continue;
+        }
+        for i in 0..NUM_SH_COEFFS {
+            d_coeffs[offset + i] += basis[i] * d_rgb[channel];
+        }
+    }
+}
+
+/// Converts a plain RGB colour in `[0, 1]` to the DC (degree-0) SH
+/// coefficient that reproduces it, leaving higher-order terms zero.
+pub fn rgb_to_sh_dc(rgb: [f32; 3]) -> [f32; 3] {
+    [
+        (rgb[0] - 0.5) / SH_C0,
+        (rgb[1] - 0.5) / SH_C0,
+        (rgb[2] - 0.5) / SH_C0,
+    ]
+}
+
+/// Fills a 48-float SH coefficient block so that the Gaussian renders as the
+/// constant colour `rgb` from every direction.
+pub fn constant_color_coeffs(rgb: [f32; 3]) -> [f32; 3 * NUM_SH_COEFFS] {
+    let dc = rgb_to_sh_dc(rgb);
+    let mut coeffs = [0.0f32; 3 * NUM_SH_COEFFS];
+    coeffs[0] = dc[0];
+    coeffs[NUM_SH_COEFFS] = dc[1];
+    coeffs[2 * NUM_SH_COEFFS] = dc[2];
+    coeffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn degree0_basis_is_constant() {
+        let mut a = [0.0; NUM_SH_COEFFS];
+        let mut b = [0.0; NUM_SH_COEFFS];
+        sh_basis(0, Vec3::new(1.0, 2.0, -3.0), &mut a);
+        sh_basis(0, Vec3::new(-0.2, 0.9, 0.1), &mut b);
+        assert_eq!(a, b);
+        assert!((a[0] - SH_C0).abs() < 1e-7);
+        assert!(a[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn constant_color_round_trips_from_any_direction() {
+        let rgb = [0.25, 0.6, 0.9];
+        let coeffs = constant_color_coeffs(rgb);
+        for dir in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(0.3, -0.7, 0.2)] {
+            let out = eval_sh_color(3, &coeffs, dir);
+            for c in 0..3 {
+                assert!((out[c] - rgb[c]).abs() < 1e-5, "{out:?} vs {rgb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_degree_adds_view_dependence() {
+        let mut coeffs = constant_color_coeffs([0.5, 0.5, 0.5]);
+        // Add a degree-1 term on the red channel.
+        coeffs[2] = 0.8;
+        let a = eval_sh_color(3, &coeffs, Vec3::Z);
+        let b = eval_sh_color(3, &coeffs, -Vec3::Z);
+        assert!((a[0] - b[0]).abs() > 0.1, "expected view dependence, got {a:?} vs {b:?}");
+        // Green / blue channels unchanged.
+        assert!((a[1] - b[1]).abs() < 1e-6);
+        assert!((a[2] - b[2]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn color_is_clamped_non_negative() {
+        let coeffs = constant_color_coeffs([-10.0, 0.5, 0.5]);
+        let out = eval_sh_color(3, &coeffs, Vec3::X);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn degree_above_three_panics() {
+        let mut basis = [0.0; NUM_SH_COEFFS];
+        sh_basis(4, Vec3::X, &mut basis);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut coeffs = [0.0f32; 3 * NUM_SH_COEFFS];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = (i as f32 * 0.37).sin() * 0.2;
+        }
+        let dir = Vec3::new(0.4, -0.3, 0.85);
+        let d_rgb = [1.0, 0.5, -0.25];
+        let mut analytic = [0.0f32; 3 * NUM_SH_COEFFS];
+        eval_sh_color_backward(3, &coeffs, dir, d_rgb, &mut analytic);
+
+        let eps = 1e-3;
+        for idx in [0, 5, 17, 20, 33, 47] {
+            let mut plus = coeffs;
+            plus[idx] += eps;
+            let mut minus = coeffs;
+            minus[idx] -= eps;
+            let cp = eval_sh_color(3, &plus, dir);
+            let cm = eval_sh_color(3, &minus, dir);
+            let mut fd = 0.0;
+            for c in 0..3 {
+                fd += d_rgb[c] * (cp[c] - cm[c]) / (2.0 * eps);
+            }
+            assert!(
+                (fd - analytic[idx]).abs() < 1e-2,
+                "coeff {idx}: fd {fd} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eval_color_finite(seed in 0u64..1000, dx in -1.0f32..1.0,
+                                  dy in -1.0f32..1.0, dz in -1.0f32..1.0) {
+            prop_assume!(dx * dx + dy * dy + dz * dz > 1e-4);
+            let mut coeffs = [0.0f32; 3 * NUM_SH_COEFFS];
+            for (i, c) in coeffs.iter_mut().enumerate() {
+                *c = ((seed as f32) * 0.01 + i as f32 * 0.13).sin();
+            }
+            let rgb = eval_sh_color(3, &coeffs, Vec3::new(dx, dy, dz));
+            prop_assert!(rgb.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+}

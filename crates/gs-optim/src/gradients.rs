@@ -1,0 +1,247 @@
+//! Gradient accumulation buffers.
+//!
+//! CLM processes a batch as a sequence of single-image micro-batches and
+//! accumulates their gradients before the optimiser step (§4.2).  The
+//! [`GradientBuffer`] is the CPU-side accumulator: dense storage shaped like
+//! the model plus a record of which Gaussians were actually touched, so that
+//! sparse (subset) Adam and the finalisation analysis of overlapped CPU Adam
+//! can work directly from it.
+
+use gs_core::gaussian::{GaussianModel, SH_FLOATS};
+use gs_core::math::Vec3;
+use gs_core::visibility::VisibilitySet;
+use gs_render::{GaussianGradients, RenderGradients};
+
+/// Dense per-Gaussian gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct GradientBuffer {
+    d_positions: Vec<Vec3>,
+    d_log_scales: Vec<Vec3>,
+    d_rotations: Vec<[f32; 4]>,
+    d_sh: Vec<f32>,
+    d_opacity_logits: Vec<f32>,
+    touched: Vec<bool>,
+}
+
+impl GradientBuffer {
+    /// Creates a zeroed buffer for `len` Gaussians.
+    pub fn new(len: usize) -> Self {
+        GradientBuffer {
+            d_positions: vec![Vec3::ZERO; len],
+            d_log_scales: vec![Vec3::ZERO; len],
+            d_rotations: vec![[0.0; 4]; len],
+            d_sh: vec![0.0; len * SH_FLOATS],
+            d_opacity_logits: vec![0.0; len],
+            touched: vec![false; len],
+        }
+    }
+
+    /// Creates a buffer sized for `model`.
+    pub fn for_model(model: &GaussianModel) -> Self {
+        Self::new(model.len())
+    }
+
+    /// Number of Gaussians the buffer covers.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether the buffer covers zero Gaussians.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Accumulates `grad` into Gaussian `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn add(&mut self, index: u32, grad: &GaussianGradients) {
+        let i = index as usize;
+        assert!(i < self.len(), "gaussian index {i} out of bounds for buffer of length {}", self.len());
+        self.d_positions[i] += grad.d_position;
+        self.d_log_scales[i] += grad.d_log_scale;
+        for k in 0..4 {
+            self.d_rotations[i][k] += grad.d_rotation[k];
+        }
+        let off = i * SH_FLOATS;
+        for k in 0..SH_FLOATS {
+            self.d_sh[off + k] += grad.d_sh[k];
+        }
+        self.d_opacity_logits[i] += grad.d_opacity_logit;
+        self.touched[i] = true;
+    }
+
+    /// Accumulates every entry of a renderer gradient result.
+    pub fn accumulate_render(&mut self, grads: &RenderGradients) {
+        for (index, grad) in grads.iter() {
+            self.add(*index, grad);
+        }
+    }
+
+    /// Reads the accumulated gradient of Gaussian `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    pub fn row(&self, index: u32) -> GaussianGradients {
+        let i = index as usize;
+        assert!(i < self.len(), "gaussian index {i} out of bounds");
+        let mut d_sh = [0.0f32; SH_FLOATS];
+        d_sh.copy_from_slice(&self.d_sh[i * SH_FLOATS..(i + 1) * SH_FLOATS]);
+        GaussianGradients {
+            d_position: self.d_positions[i],
+            d_log_scale: self.d_log_scales[i],
+            d_rotation: self.d_rotations[i],
+            d_sh,
+            d_opacity_logit: self.d_opacity_logits[i],
+        }
+    }
+
+    /// Whether Gaussian `index` has received any gradient.
+    pub fn is_touched(&self, index: u32) -> bool {
+        self.touched
+            .get(index as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The set of Gaussians that received gradients.
+    pub fn touched_set(&self) -> VisibilitySet {
+        VisibilitySet::from_sorted(
+            self.touched
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t)
+                .map(|(i, _)| i as u32)
+                .collect(),
+        )
+    }
+
+    /// Number of touched Gaussians.
+    pub fn touched_count(&self) -> usize {
+        self.touched.iter().filter(|&&t| t).count()
+    }
+
+    /// Resets every gradient to zero (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.d_positions.fill(Vec3::ZERO);
+        self.d_log_scales.fill(Vec3::ZERO);
+        self.d_rotations.fill([0.0; 4]);
+        self.d_sh.fill(0.0);
+        self.d_opacity_logits.fill(0.0);
+        self.touched.fill(false);
+    }
+
+    /// Resets only the Gaussians in `indices` (used after CLM finalises and
+    /// applies their updates early).
+    pub fn clear_indices(&mut self, indices: &[u32]) {
+        for &idx in indices {
+            let i = idx as usize;
+            if i >= self.len() {
+                continue;
+            }
+            self.d_positions[i] = Vec3::ZERO;
+            self.d_log_scales[i] = Vec3::ZERO;
+            self.d_rotations[i] = [0.0; 4];
+            self.d_sh[i * SH_FLOATS..(i + 1) * SH_FLOATS].fill(0.0);
+            self.d_opacity_logits[i] = 0.0;
+            self.touched[i] = false;
+        }
+    }
+
+    /// Sum of the L2 norms of every touched Gaussian's gradient (a cheap
+    /// global magnitude measure used in tests and densification heuristics).
+    pub fn total_norm(&self) -> f32 {
+        (0..self.len() as u32)
+            .filter(|&i| self.is_touched(i))
+            .map(|i| self.row(i).norm().powi(2))
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad(px: f32, opacity: f32) -> GaussianGradients {
+        GaussianGradients {
+            d_position: Vec3::new(px, 0.0, 0.0),
+            d_opacity_logit: opacity,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn add_accumulates_and_marks_touched() {
+        let mut buf = GradientBuffer::new(3);
+        assert_eq!(buf.touched_count(), 0);
+        buf.add(1, &grad(1.0, 0.5));
+        buf.add(1, &grad(2.0, -0.25));
+        assert!(buf.is_touched(1));
+        assert!(!buf.is_touched(0));
+        let row = buf.row(1);
+        assert_eq!(row.d_position.x, 3.0);
+        assert_eq!(row.d_opacity_logit, 0.25);
+        assert_eq!(buf.touched_set().indices(), &[1]);
+    }
+
+    #[test]
+    fn accumulation_order_does_not_matter() {
+        // The paper's §4.2.3 correctness argument: gradients accumulated over
+        // a batch are identical regardless of micro-batch order.
+        let grads = [(0u32, grad(0.3, 0.1)), (2, grad(-0.5, 0.2)), (0, grad(0.7, -0.4))];
+        let mut forward = GradientBuffer::new(3);
+        for (i, g) in &grads {
+            forward.add(*i, g);
+        }
+        let mut reversed = GradientBuffer::new(3);
+        for (i, g) in grads.iter().rev() {
+            reversed.add(*i, g);
+        }
+        for i in 0..3 {
+            assert_eq!(forward.row(i), reversed.row(i));
+        }
+    }
+
+    #[test]
+    fn clear_and_clear_indices() {
+        let mut buf = GradientBuffer::new(4);
+        for i in 0..4 {
+            buf.add(i, &grad(1.0, 1.0));
+        }
+        buf.clear_indices(&[1, 3, 9]);
+        assert!(buf.is_touched(0));
+        assert!(!buf.is_touched(1));
+        assert!(buf.is_touched(2));
+        assert!(!buf.is_touched(3));
+        assert_eq!(buf.row(1).d_position, Vec3::ZERO);
+        buf.clear();
+        assert_eq!(buf.touched_count(), 0);
+        assert_eq!(buf.total_norm(), 0.0);
+    }
+
+    #[test]
+    fn touched_set_is_sorted() {
+        let mut buf = GradientBuffer::new(10);
+        for i in [7u32, 2, 5] {
+            buf.add(i, &grad(1.0, 0.0));
+        }
+        assert_eq!(buf.touched_set().indices(), &[2, 5, 7]);
+        assert_eq!(buf.touched_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_out_of_bounds_panics() {
+        let mut buf = GradientBuffer::new(2);
+        buf.add(2, &grad(1.0, 0.0));
+    }
+
+    #[test]
+    fn total_norm_of_known_gradients() {
+        let mut buf = GradientBuffer::new(2);
+        buf.add(0, &grad(3.0, 0.0));
+        buf.add(1, &grad(0.0, 4.0));
+        assert!((buf.total_norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,624 @@
+//! Tile-based alpha-compositing rasteriser (forward and backward).
+//!
+//! The forward pass mirrors the reference 3DGS renderer: projected splats
+//! are depth-sorted, binned into 16×16 pixel tiles, and composited
+//! front-to-back per pixel with early termination once transmittance drops
+//! below a threshold.  The backward pass walks each pixel's splat list in
+//! reverse, reconstructing per-splat alpha to produce gradients with respect
+//! to the screen-space quantities, which are then chained through
+//! [`crate::projection`] back to the Gaussian parameters.
+
+use crate::image::Image;
+use crate::projection::{
+    project_gaussian, project_gaussian_backward, GaussianGradients, ProjectedGaussian,
+    ProjectionContext, ScreenGradients, MAX_ALPHA, MIN_ALPHA,
+};
+use gs_core::camera::Camera;
+use gs_core::gaussian::GaussianModel;
+use gs_core::math::{Sym2, Vec2};
+
+/// Tile edge length in pixels.
+pub const TILE_SIZE: u32 = 16;
+
+/// Transmittance below which compositing terminates early.
+pub const TRANSMITTANCE_EPS: f32 = 1e-4;
+
+/// Options controlling a render call.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Background colour composited behind the splats.
+    pub background: [f32; 3],
+    /// When set, only these Gaussian indices are rasterised (the
+    /// "pre-rendering frustum culling" path, §5.1).  When `None`, every
+    /// Gaussian in the model is considered (the fused-culling baseline).
+    pub visible: Option<Vec<u32>>,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            background: [0.0; 3],
+            visible: None,
+        }
+    }
+}
+
+/// Per-pixel state saved by the forward pass for the backward pass.
+#[derive(Debug, Clone, Copy, Default)]
+struct PixelState {
+    /// Transmittance remaining after compositing.
+    final_t: f32,
+    /// Number of tile-list entries examined before termination (exclusive
+    /// upper bound for the backward traversal).
+    last_index: u32,
+}
+
+/// Saved forward-pass state required by [`render_backward`].
+#[derive(Debug, Clone)]
+pub struct RenderAux {
+    projected: Vec<ProjectedGaussian>,
+    contexts: Vec<ProjectionContext>,
+    tile_lists: Vec<Vec<u32>>,
+    pixel_states: Vec<PixelState>,
+    tiles_x: u32,
+    width: u32,
+    height: u32,
+    background: [f32; 3],
+}
+
+impl RenderAux {
+    /// Number of splats that survived projection.
+    pub fn projected_count(&self) -> usize {
+        self.projected.len()
+    }
+
+    /// The projected splats (depth-sorted).
+    pub fn projected(&self) -> &[ProjectedGaussian] {
+        &self.projected
+    }
+}
+
+/// Result of a forward render.
+#[derive(Debug, Clone)]
+pub struct RenderOutput {
+    /// The rendered image.
+    pub image: Image,
+    /// Saved state for the backward pass.
+    pub aux: RenderAux,
+}
+
+/// Renders `model` from `camera`.
+///
+/// `options.visible` restricts rasterisation to the given Gaussian indices;
+/// this is how CLM (and the enhanced baseline) skip out-of-frustum Gaussians
+/// entirely.
+///
+/// # Panics
+/// Panics if `options.visible` contains an index outside the model.
+pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -> RenderOutput {
+    let width = camera.intrinsics.width;
+    let height = camera.intrinsics.height;
+
+    // 1. Project candidate Gaussians.
+    let mut projected: Vec<ProjectedGaussian> = Vec::new();
+    let mut contexts: Vec<ProjectionContext> = Vec::new();
+    let mut project_one = |idx: u32| {
+        let g = model.get(idx as usize);
+        if let Some((p, ctx)) = project_gaussian(&g, idx, camera) {
+            projected.push(p);
+            contexts.push(ctx);
+        }
+    };
+    match &options.visible {
+        Some(indices) => {
+            for &idx in indices {
+                assert!(
+                    (idx as usize) < model.len(),
+                    "visible index {idx} out of bounds for model of length {}",
+                    model.len()
+                );
+                project_one(idx);
+            }
+        }
+        None => {
+            for idx in 0..model.len() as u32 {
+                project_one(idx);
+            }
+        }
+    }
+
+    // 2. Depth sort (front to back).
+    let mut order: Vec<u32> = (0..projected.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        projected[a as usize]
+            .depth
+            .partial_cmp(&projected[b as usize].depth)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let projected: Vec<ProjectedGaussian> =
+        order.iter().map(|&i| projected[i as usize].clone()).collect();
+    let contexts: Vec<ProjectionContext> =
+        order.iter().map(|&i| contexts[i as usize].clone()).collect();
+
+    // 3. Bin splats into tiles (kept in depth order by construction).
+    let tiles_x = width.div_ceil(TILE_SIZE);
+    let tiles_y = height.div_ceil(TILE_SIZE);
+    let mut tile_lists: Vec<Vec<u32>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
+    for (slot, p) in projected.iter().enumerate() {
+        let min_x = ((p.mean2d.x - p.radius).floor().max(0.0)) as u32;
+        let max_x = ((p.mean2d.x + p.radius).ceil().min(width as f32 - 1.0)) as u32;
+        let min_y = ((p.mean2d.y - p.radius).floor().max(0.0)) as u32;
+        let max_y = ((p.mean2d.y + p.radius).ceil().min(height as f32 - 1.0)) as u32;
+        if p.mean2d.x + p.radius < 0.0
+            || p.mean2d.y + p.radius < 0.0
+            || p.mean2d.x - p.radius > width as f32
+            || p.mean2d.y - p.radius > height as f32
+        {
+            continue;
+        }
+        let t_min_x = min_x / TILE_SIZE;
+        let t_max_x = max_x / TILE_SIZE;
+        let t_min_y = min_y / TILE_SIZE;
+        let t_max_y = max_y / TILE_SIZE;
+        for ty in t_min_y..=t_max_y {
+            for tx in t_min_x..=t_max_x {
+                tile_lists[(ty * tiles_x + tx) as usize].push(slot as u32);
+            }
+        }
+    }
+
+    // 4. Per-pixel front-to-back compositing.
+    let mut image = Image::new(width, height);
+    let mut pixel_states = vec![PixelState::default(); (width * height) as usize];
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let list = &tile_lists[(ty * tiles_x + tx) as usize];
+            let x_end = ((tx + 1) * TILE_SIZE).min(width);
+            let y_end = ((ty + 1) * TILE_SIZE).min(height);
+            for py in ty * TILE_SIZE..y_end {
+                for px in tx * TILE_SIZE..x_end {
+                    let mut t = 1.0f32;
+                    let mut color = [0.0f32; 3];
+                    let mut last_index = 0u32;
+                    for (pos, &slot) in list.iter().enumerate() {
+                        let p = &projected[slot as usize];
+                        let alpha = splat_alpha(p, px, py);
+                        last_index = pos as u32 + 1;
+                        let Some(alpha) = alpha else { continue };
+                        let next_t = t * (1.0 - alpha);
+                        if next_t < TRANSMITTANCE_EPS {
+                            break;
+                        }
+                        for c in 0..3 {
+                            color[c] += p.color[c] * alpha * t;
+                        }
+                        t = next_t;
+                    }
+                    for c in 0..3 {
+                        color[c] += t * options.background[c];
+                    }
+                    image.set_pixel(px, py, color);
+                    pixel_states[(py * width + px) as usize] = PixelState {
+                        final_t: t,
+                        last_index,
+                    };
+                }
+            }
+        }
+    }
+
+    RenderOutput {
+        image,
+        aux: RenderAux {
+            projected,
+            contexts,
+            tile_lists,
+            pixel_states,
+            tiles_x,
+            width,
+            height,
+            background: options.background,
+        },
+    }
+}
+
+/// Evaluates the alpha contribution of splat `p` at pixel `(px, py)`,
+/// returning `None` when the splat is skipped (too transparent or outside
+/// its effective footprint), exactly as the forward pass does.
+fn splat_alpha(p: &ProjectedGaussian, px: u32, py: u32) -> Option<f32> {
+    let d = Vec2::new(px as f32 + 0.5 - p.mean2d.x, py as f32 + 0.5 - p.mean2d.y);
+    let power = -0.5 * p.conic.quadratic_form(d.x, d.y);
+    if power > 0.0 {
+        return None;
+    }
+    let alpha = (p.opacity * power.exp()).min(MAX_ALPHA);
+    if alpha < MIN_ALPHA {
+        None
+    } else {
+        Some(alpha)
+    }
+}
+
+/// Gradients produced by [`render_backward`]: one entry per Gaussian that
+/// received a non-zero gradient, keyed by its global index.
+#[derive(Debug, Clone, Default)]
+pub struct RenderGradients {
+    entries: Vec<(u32, GaussianGradients)>,
+}
+
+impl RenderGradients {
+    /// The gradient entries, sorted by Gaussian index.
+    pub fn entries(&self) -> &[(u32, GaussianGradients)] {
+        &self.entries
+    }
+
+    /// Number of Gaussians with gradients.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no Gaussian received a gradient.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the gradient of Gaussian `index`, if any.
+    pub fn get(&self, index: u32) -> Option<&GaussianGradients> {
+        self.entries
+            .binary_search_by_key(&index, |(i, _)| *i)
+            .ok()
+            .map(|pos| &self.entries[pos].1)
+    }
+
+    /// Iterates over `(gaussian index, gradients)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(u32, GaussianGradients)> {
+        self.entries.iter()
+    }
+}
+
+/// Backward pass: given the gradient of the loss with respect to every
+/// pixel (`d_image`, row-major, one `[f32; 3]` per pixel), computes the
+/// gradient with respect to every contributing Gaussian's parameters.
+///
+/// # Panics
+/// Panics if `d_image.len()` does not match the rendered resolution.
+pub fn render_backward(
+    model: &GaussianModel,
+    camera: &Camera,
+    aux: &RenderAux,
+    d_image: &[[f32; 3]],
+) -> RenderGradients {
+    assert_eq!(
+        d_image.len(),
+        (aux.width * aux.height) as usize,
+        "d_image size must match the rendered resolution"
+    );
+
+    let mut screen_grads: Vec<ScreenGradients> =
+        vec![ScreenGradients::default(); aux.projected.len()];
+
+    let tiles_y = aux.height.div_ceil(TILE_SIZE);
+    for ty in 0..tiles_y {
+        for tx in 0..aux.tiles_x {
+            let list = &aux.tile_lists[(ty * aux.tiles_x + tx) as usize];
+            if list.is_empty() {
+                continue;
+            }
+            let x_end = ((tx + 1) * TILE_SIZE).min(aux.width);
+            let y_end = ((ty + 1) * TILE_SIZE).min(aux.height);
+            for py in ty * TILE_SIZE..y_end {
+                for px in tx * TILE_SIZE..x_end {
+                    let state = aux.pixel_states[(py * aux.width + px) as usize];
+                    let d_pix = d_image[(py * aux.width + px) as usize];
+                    if d_pix == [0.0; 3] || state.last_index == 0 {
+                        continue;
+                    }
+                    let mut t = state.final_t;
+                    // Accumulated contribution *behind* the splat currently
+                    // being processed (starts as background).
+                    let mut behind = [
+                        aux.background[0] * state.final_t,
+                        aux.background[1] * state.final_t,
+                        aux.background[2] * state.final_t,
+                    ];
+                    for pos in (0..state.last_index as usize).rev() {
+                        let slot = list[pos] as usize;
+                        let p = &aux.projected[slot];
+                        let Some(alpha) = splat_alpha(p, px, py) else { continue };
+                        // Transmittance in front of this splat.
+                        t /= 1.0 - alpha;
+                        let g = &mut screen_grads[slot];
+
+                        // Colour gradient.
+                        for c in 0..3 {
+                            g.d_color[c] += alpha * t * d_pix[c];
+                        }
+                        // Alpha gradient.
+                        let mut d_alpha = 0.0;
+                        for c in 0..3 {
+                            let dc_dalpha = p.color[c] * t - behind[c] / (1.0 - alpha);
+                            d_alpha += d_pix[c] * dc_dalpha;
+                        }
+                        // Update the "behind" accumulator for the next splat
+                        // (the one in front of this one).
+                        for c in 0..3 {
+                            behind[c] += p.color[c] * alpha * t;
+                        }
+
+                        // Chain through alpha = min(0.99, opacity * exp(power)).
+                        let d = Vec2::new(
+                            px as f32 + 0.5 - p.mean2d.x,
+                            py as f32 + 0.5 - p.mean2d.y,
+                        );
+                        let power = -0.5 * p.conic.quadratic_form(d.x, d.y);
+                        let gauss = power.exp();
+                        if p.opacity * gauss >= MAX_ALPHA {
+                            continue; // clamped: no gradient through opacity/geometry
+                        }
+                        g.d_opacity += gauss * d_alpha;
+                        let d_power = d_alpha * alpha;
+                        g.d_conic = Sym2::new(
+                            g.d_conic.a - 0.5 * d.x * d.x * d_power,
+                            g.d_conic.b - d.x * d.y * d_power,
+                            g.d_conic.c - 0.5 * d.y * d.y * d_power,
+                        );
+                        g.d_mean2d.x += (p.conic.a * d.x + p.conic.b * d.y) * d_power;
+                        g.d_mean2d.y += (p.conic.b * d.x + p.conic.c * d.y) * d_power;
+                    }
+                }
+            }
+        }
+    }
+
+    // Chain screen-space gradients back to the 59 Gaussian parameters.
+    let mut entries: Vec<(u32, GaussianGradients)> = Vec::new();
+    for (slot, screen) in screen_grads.iter().enumerate() {
+        if screen.is_zero() {
+            continue;
+        }
+        let p = &aux.projected[slot];
+        let g = model.get(p.index as usize);
+        let grads = project_gaussian_backward(&g, camera, &aux.contexts[slot], screen);
+        entries.push((p.index, grads));
+    }
+    entries.sort_by_key(|(i, _)| *i);
+    // Merge duplicates (a Gaussian only appears once per render, but keep
+    // the invariant explicit).
+    let mut merged: Vec<(u32, GaussianGradients)> = Vec::with_capacity(entries.len());
+    for (idx, grad) in entries {
+        match merged.last_mut() {
+            Some((last_idx, last_grad)) if *last_idx == idx => last_grad.accumulate(&grad),
+            _ => merged.push((idx, grad)),
+        }
+    }
+    RenderGradients { entries: merged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::camera::CameraIntrinsics;
+    use gs_core::gaussian::Gaussian;
+    use gs_core::math::Vec3;
+
+    fn camera(px: u32) -> Camera {
+        Camera::look_at(
+            Vec3::ZERO,
+            Vec3::Z,
+            Vec3::Y,
+            CameraIntrinsics::simple(px, px, 60.0_f32.to_radians()),
+        )
+        .with_clip(0.1, 100.0)
+    }
+
+    fn single_gaussian_scene() -> GaussianModel {
+        let mut model = GaussianModel::new();
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 5.0),
+            0.5,
+            [0.9, 0.2, 0.1],
+            0.95,
+        ));
+        model
+    }
+
+    #[test]
+    fn empty_scene_renders_background() {
+        let model = GaussianModel::new();
+        let out = render(
+            &model,
+            &camera(16),
+            &RenderOptions {
+                background: [0.1, 0.2, 0.3],
+                visible: None,
+            },
+        );
+        for p in out.image.pixels() {
+            assert_eq!(*p, [0.1, 0.2, 0.3]);
+        }
+        assert_eq!(out.aux.projected_count(), 0);
+    }
+
+    #[test]
+    fn single_gaussian_colors_center_pixel() {
+        let model = single_gaussian_scene();
+        let cam = camera(32);
+        let out = render(&model, &cam, &RenderOptions::default());
+        let center = out.image.pixel(16, 16);
+        // Red-dominant colour shows up at the centre.
+        assert!(center[0] > 0.5, "center {center:?}");
+        assert!(center[0] > center[1] && center[0] > center[2]);
+        // Corner remains (nearly) background.
+        let corner = out.image.pixel(0, 0);
+        assert!(corner[0] < 0.2);
+    }
+
+    #[test]
+    fn visible_subset_restricts_rendering() {
+        let mut model = single_gaussian_scene();
+        // Second, green Gaussian slightly off to the side.
+        model.push(Gaussian::isotropic(
+            Vec3::new(1.0, 0.0, 5.0),
+            0.5,
+            [0.1, 0.9, 0.1],
+            0.95,
+        ));
+        let cam = camera(32);
+        let all = render(&model, &cam, &RenderOptions::default());
+        let only_first = render(
+            &model,
+            &cam,
+            &RenderOptions {
+                background: [0.0; 3],
+                visible: Some(vec![0]),
+            },
+        );
+        assert_ne!(all.image, only_first.image);
+        assert_eq!(only_first.aux.projected_count(), 1);
+    }
+
+    #[test]
+    fn rendering_with_full_visibility_matches_unrestricted() {
+        let mut model = single_gaussian_scene();
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.5, 0.3, 7.0),
+            0.4,
+            [0.2, 0.3, 0.9],
+            0.8,
+        ));
+        let cam = camera(32);
+        let unrestricted = render(&model, &cam, &RenderOptions::default());
+        let explicit = render(
+            &model,
+            &cam,
+            &RenderOptions {
+                background: [0.0; 3],
+                visible: Some(vec![0, 1]),
+            },
+        );
+        assert_eq!(unrestricted.image, explicit.image);
+    }
+
+    #[test]
+    fn nearer_gaussian_occludes_farther() {
+        let mut model = GaussianModel::new();
+        // Opaque red Gaussian in front.
+        model.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 3.0), 0.5, [1.0, 0.0, 0.0], 0.99));
+        // Opaque green Gaussian behind.
+        model.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 8.0), 0.5, [0.0, 1.0, 0.0], 0.99));
+        let out = render(&model, &camera(32), &RenderOptions::default());
+        let center = out.image.pixel(16, 16);
+        assert!(center[0] > 0.6, "front splat should dominate: {center:?}");
+        assert!(center[1] < 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn invalid_visible_index_panics() {
+        let model = single_gaussian_scene();
+        let _ = render(
+            &model,
+            &camera(16),
+            &RenderOptions {
+                background: [0.0; 3],
+                visible: Some(vec![7]),
+            },
+        );
+    }
+
+    /// Finite-difference check of the full render backward: perturb a
+    /// parameter, recompute a scalar loss, compare with the analytic
+    /// gradient.
+    #[test]
+    fn backward_matches_finite_difference_on_scalar_loss() {
+        let mut model = GaussianModel::new();
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.1, -0.2, 4.0),
+            0.4,
+            [0.6, 0.3, 0.8],
+            0.7,
+        ));
+        model.push(Gaussian::isotropic(
+            Vec3::new(-0.3, 0.1, 6.0),
+            0.5,
+            [0.2, 0.7, 0.4],
+            0.6,
+        ));
+        let cam = camera(24);
+
+        // Loss = sum of all pixel channels (so dL/dpixel = 1 everywhere).
+        let loss = |m: &GaussianModel| -> f32 {
+            let out = render(m, &cam, &RenderOptions::default());
+            out.image.pixels().iter().map(|p| p[0] + p[1] + p[2]).sum()
+        };
+
+        let out = render(&model, &cam, &RenderOptions::default());
+        let d_image = vec![[1.0f32; 3]; out.image.pixel_count()];
+        let grads = render_backward(&model, &cam, &out.aux, &d_image);
+        assert!(!grads.is_empty());
+
+        let eps = 2e-3;
+        let checks: Vec<(&str, Box<dyn Fn(&mut GaussianModel, f32)>, f32)> = vec![
+            (
+                "g0 position.x",
+                Box::new(|m: &mut GaussianModel, e: f32| m.positions_mut()[0].x += e),
+                grads.get(0).unwrap().d_position.x,
+            ),
+            (
+                "g0 opacity_logit",
+                Box::new(|m: &mut GaussianModel, e: f32| m.opacity_logits_mut()[0] += e),
+                grads.get(0).unwrap().d_opacity_logit,
+            ),
+            (
+                "g1 log_scale.y",
+                Box::new(|m: &mut GaussianModel, e: f32| m.log_scales_mut()[1].y += e),
+                grads.get(1).unwrap().d_log_scale.y,
+            ),
+            (
+                "g1 sh dc (red)",
+                Box::new(|m: &mut GaussianModel, e: f32| m.sh_mut()[48] += e),
+                grads.get(1).unwrap().d_sh[0],
+            ),
+        ];
+        for (label, mutate, analytic) in checks {
+            let mut plus = model.clone();
+            mutate(&mut plus, eps);
+            let mut minus = model.clone();
+            mutate(&mut minus, -eps);
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            let scale = 1.0f32.max(fd.abs()).max(analytic.abs());
+            assert!(
+                (fd - analytic).abs() / scale < 0.08,
+                "{label}: finite diff {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_image_gradient_produces_no_gaussian_gradients() {
+        let model = single_gaussian_scene();
+        let cam = camera(16);
+        let out = render(&model, &cam, &RenderOptions::default());
+        let d_image = vec![[0.0f32; 3]; out.image.pixel_count()];
+        let grads = render_backward(&model, &cam, &out.aux, &d_image);
+        assert!(grads.is_empty());
+    }
+
+    #[test]
+    fn gradients_only_for_contributing_gaussians() {
+        let mut model = single_gaussian_scene();
+        // A Gaussian far outside the view contributes nothing.
+        model.push(Gaussian::isotropic(
+            Vec3::new(500.0, 0.0, 5.0),
+            0.5,
+            [1.0, 1.0, 1.0],
+            0.9,
+        ));
+        let cam = camera(24);
+        let out = render(&model, &cam, &RenderOptions::default());
+        let d_image = vec![[1.0f32; 3]; out.image.pixel_count()];
+        let grads = render_backward(&model, &cam, &out.aux, &d_image);
+        assert!(grads.get(0).is_some());
+        assert!(grads.get(1).is_none());
+    }
+}

@@ -1,0 +1,216 @@
+//! Adaptive densification and pruning (§2.1).
+//!
+//! 3DGS periodically clones / splits Gaussians in regions with large
+//! reconstruction error (approximated by large positional gradients) and
+//! prunes Gaussians whose opacity has collapsed.  CLM inherits this
+//! mechanism unchanged; it matters to the reproduction because it is the
+//! reason model size — and therefore memory demand — grows during training,
+//! and because the resulting allocation churn drives the fragmentation
+//! behaviour discussed in Appendix A.3.
+
+use gs_core::gaussian::GaussianModel;
+use gs_core::math::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Densification / pruning thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensifyConfig {
+    /// Positional-gradient norm above which a Gaussian is densified.
+    pub grad_threshold: f32,
+    /// Scale (world units) above which a densified Gaussian is split rather
+    /// than cloned.
+    pub split_scale_threshold: f32,
+    /// Opacity below which a Gaussian is pruned.
+    pub prune_opacity: f32,
+    /// Hard cap on the model size after densification (0 = unlimited).
+    pub max_gaussians: usize,
+    /// RNG seed for split-offset sampling.
+    pub seed: u64,
+}
+
+impl Default for DensifyConfig {
+    fn default() -> Self {
+        DensifyConfig {
+            grad_threshold: 2.0e-4,
+            split_scale_threshold: 0.05,
+            prune_opacity: 0.01,
+            max_gaussians: 0,
+            seed: 17,
+        }
+    }
+}
+
+/// What one densification pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DensifyReport {
+    /// Gaussians cloned (small, high-gradient).
+    pub cloned: usize,
+    /// Gaussians split in two (large, high-gradient).
+    pub split: usize,
+    /// Gaussians removed because their opacity collapsed.
+    pub pruned: usize,
+}
+
+impl DensifyReport {
+    /// Net change in model size.
+    pub fn net_growth(&self) -> isize {
+        (self.cloned + self.split) as isize - self.pruned as isize
+    }
+}
+
+/// Runs one densify-and-prune pass over `model`.
+///
+/// `position_grad_norms` must hold one accumulated positional-gradient norm
+/// per Gaussian (the densification criterion used by the reference
+/// implementation).
+///
+/// # Panics
+/// Panics if `position_grad_norms.len() != model.len()`.
+pub fn densify_and_prune(
+    model: &mut GaussianModel,
+    position_grad_norms: &[f32],
+    config: &DensifyConfig,
+) -> DensifyReport {
+    assert_eq!(
+        position_grad_norms.len(),
+        model.len(),
+        "need one gradient norm per gaussian"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut report = DensifyReport::default();
+
+    // 1. Prune low-opacity Gaussians first.
+    let prune: Vec<u32> = (0..model.len())
+        .filter(|&i| model.get(i).opacity() < config.prune_opacity)
+        .map(|i| i as u32)
+        .collect();
+    // Gradient norms must stay aligned with the surviving Gaussians.
+    let mut surviving_norms: Vec<f32> = position_grad_norms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !prune.contains(&(*i as u32)))
+        .map(|(_, &n)| n)
+        .collect();
+    report.pruned = model.remove_indices(&prune);
+
+    // 2. Densify high-gradient Gaussians.
+    let budget = if config.max_gaussians == 0 {
+        usize::MAX
+    } else {
+        config.max_gaussians.saturating_sub(model.len())
+    };
+    let mut added = 0usize;
+    let original_len = model.len();
+    for i in 0..original_len {
+        if added >= budget {
+            break;
+        }
+        if surviving_norms[i] <= config.grad_threshold {
+            continue;
+        }
+        let g = model.get(i);
+        let max_scale = g.scale().max_component();
+        if max_scale > config.split_scale_threshold {
+            // Split: shrink the original and add a sibling offset along a
+            // random direction, both at ~60% of the original size.
+            let mut shrunk = g.clone();
+            shrunk.log_scale = shrunk.log_scale + Vec3::splat((0.6f32).ln());
+            let offset = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            )
+            .normalized()
+                * max_scale
+                * 0.5;
+            let mut sibling = shrunk.clone();
+            sibling.position += offset;
+            model.set(i, shrunk);
+            model.push(sibling);
+            report.split += 1;
+        } else {
+            // Clone in place; optimisation separates the copies later.
+            model.push(g);
+            report.cloned += 1;
+        }
+        added += 1;
+    }
+    // Keep the norm bookkeeping length consistent for callers that reuse it.
+    surviving_norms.resize(model.len(), 0.0);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_core::gaussian::Gaussian;
+
+    fn model_with(scales: &[f32], opacities: &[f32]) -> GaussianModel {
+        scales
+            .iter()
+            .zip(opacities)
+            .enumerate()
+            .map(|(i, (&s, &o))| {
+                Gaussian::isotropic(Vec3::new(i as f32, 0.0, 0.0), s, [0.5; 3], o)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn high_gradient_small_gaussian_is_cloned() {
+        let mut model = model_with(&[0.01], &[0.8]);
+        let report = densify_and_prune(&mut model, &[1.0], &DensifyConfig::default());
+        assert_eq!(report.cloned, 1);
+        assert_eq!(report.split, 0);
+        assert_eq!(model.len(), 2);
+    }
+
+    #[test]
+    fn high_gradient_large_gaussian_is_split_and_shrunk() {
+        let mut model = model_with(&[0.5], &[0.8]);
+        let original_scale = model.get(0).scale().max_component();
+        let report = densify_and_prune(&mut model, &[1.0], &DensifyConfig::default());
+        assert_eq!(report.split, 1);
+        assert_eq!(model.len(), 2);
+        assert!(model.get(0).scale().max_component() < original_scale);
+        assert!(model.get(1).scale().max_component() < original_scale);
+        assert_ne!(model.get(0).position, model.get(1).position);
+    }
+
+    #[test]
+    fn low_gradient_gaussians_are_left_alone() {
+        let mut model = model_with(&[0.01, 0.5], &[0.8, 0.8]);
+        let report = densify_and_prune(&mut model, &[0.0, 0.0], &DensifyConfig::default());
+        assert_eq!(report, DensifyReport::default());
+        assert_eq!(model.len(), 2);
+    }
+
+    #[test]
+    fn transparent_gaussians_are_pruned() {
+        let mut model = model_with(&[0.01, 0.01, 0.01], &[0.8, 0.001, 0.8]);
+        let report = densify_and_prune(&mut model, &[0.0, 0.0, 0.0], &DensifyConfig::default());
+        assert_eq!(report.pruned, 1);
+        assert_eq!(model.len(), 2);
+        assert_eq!(report.net_growth(), -1);
+    }
+
+    #[test]
+    fn max_gaussians_caps_growth() {
+        let mut model = model_with(&[0.01; 5], &[0.8; 5]);
+        let config = DensifyConfig {
+            max_gaussians: 7,
+            ..Default::default()
+        };
+        let report = densify_and_prune(&mut model, &[1.0; 5], &config);
+        assert_eq!(model.len(), 7);
+        assert_eq!(report.cloned + report.split, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient norm per gaussian")]
+    fn mismatched_norms_panic() {
+        let mut model = model_with(&[0.01], &[0.8]);
+        let _ = densify_and_prune(&mut model, &[1.0, 2.0], &DensifyConfig::default());
+    }
+}

@@ -1,0 +1,190 @@
+//! Specifications of the five evaluation scenes used in the CLM paper
+//! (Tables 2 and 3), together with the scale factors used to reproduce them
+//! synthetically at laptop scale.
+
+/// Which of the paper's evaluation scenes a dataset mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SceneKind {
+    /// Mip-NeRF 360 "Bicycle": a compact yard scene at 4K.
+    Bicycle,
+    /// Mega-NeRF "Rubble": a large aerial capture at 4K.
+    Rubble,
+    /// Zip-NeRF "Alameda": a large indoor walkthrough at 2K.
+    Alameda,
+    /// Ithaca365: a long street drive at 1K.
+    Ithaca,
+    /// MatrixCity "BigCity": a city-scale aerial capture at 1080p.
+    BigCity,
+}
+
+impl SceneKind {
+    /// All scenes in the order the paper reports them.
+    pub const ALL: [SceneKind; 5] = [
+        SceneKind::Bicycle,
+        SceneKind::Rubble,
+        SceneKind::Alameda,
+        SceneKind::Ithaca,
+        SceneKind::BigCity,
+    ];
+}
+
+impl std::fmt::Display for SceneKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SceneKind::Bicycle => "Bicycle",
+            SceneKind::Rubble => "Rubble",
+            SceneKind::Alameda => "Alameda",
+            SceneKind::Ithaca => "Ithaca",
+            SceneKind::BigCity => "BigCity",
+        })
+    }
+}
+
+/// The camera-trajectory topology of a scene; this is what determines its
+/// sparsity distribution and spatial locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trajectory {
+    /// Cameras on a ring orbiting a compact centre (yard scenes).
+    Orbit,
+    /// Cameras on a regular grid above the scene looking down (aerial).
+    AerialGrid,
+    /// Cameras walking through connected rooms (indoor).
+    IndoorWalk,
+    /// Cameras driving along a long corridor (street).
+    StreetDrive,
+}
+
+/// Full-scale characteristics of one paper scene plus the parameters the
+/// synthetic generator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneSpec {
+    /// Which scene this is.
+    pub kind: SceneKind,
+    /// Number of Gaussians the paper reports the scene needs (Table 2).
+    pub full_gaussians: u64,
+    /// Native image resolution (width, height) used in the paper.
+    pub full_resolution: (u32, u32),
+    /// Number of training images (Table 3).
+    pub full_images: usize,
+    /// Training batch size used in the paper (Table 3).
+    pub batch_size: usize,
+    /// Scene type label from Table 3.
+    pub scene_type: &'static str,
+    /// Camera-trajectory topology.
+    pub trajectory: Trajectory,
+    /// World-space extent of the synthetic stand-in (larger extent relative
+    /// to the camera frustum volume ⇒ lower sparsity ρ).
+    pub extent: f32,
+}
+
+impl SceneSpec {
+    /// The specification of one paper scene.
+    pub fn of(kind: SceneKind) -> Self {
+        match kind {
+            SceneKind::Bicycle => SceneSpec {
+                kind,
+                full_gaussians: 9_000_000,
+                full_resolution: (3840, 2160),
+                full_images: 200,
+                batch_size: 4,
+                scene_type: "Yard",
+                trajectory: Trajectory::Orbit,
+                extent: 20.0,
+            },
+            SceneKind::Rubble => SceneSpec {
+                kind,
+                full_gaussians: 40_000_000,
+                full_resolution: (3840, 2160),
+                full_images: 1600,
+                batch_size: 8,
+                scene_type: "Aerial",
+                trajectory: Trajectory::AerialGrid,
+                extent: 120.0,
+            },
+            SceneKind::Alameda => SceneSpec {
+                kind,
+                full_gaussians: 45_000_000,
+                full_resolution: (2048, 1152),
+                full_images: 1700,
+                batch_size: 8,
+                scene_type: "Indoor",
+                trajectory: Trajectory::IndoorWalk,
+                extent: 160.0,
+            },
+            SceneKind::Ithaca => SceneSpec {
+                kind,
+                full_gaussians: 70_000_000,
+                full_resolution: (1024, 576),
+                full_images: 8200,
+                batch_size: 16,
+                scene_type: "Street",
+                trajectory: Trajectory::StreetDrive,
+                extent: 400.0,
+            },
+            SceneKind::BigCity => SceneSpec {
+                kind,
+                full_gaussians: 100_000_000,
+                full_resolution: (1920, 1080),
+                full_images: 60000,
+                batch_size: 64,
+                scene_type: "Aerial",
+                trajectory: Trajectory::AerialGrid,
+                extent: 900.0,
+            },
+        }
+    }
+
+    /// Specifications of all five scenes.
+    pub fn all() -> Vec<SceneSpec> {
+        SceneKind::ALL.iter().map(|&k| SceneSpec::of(k)).collect()
+    }
+
+    /// Estimated full-scale training memory demand in bytes
+    /// (model state only), reproducing Table 2's "Memory Demand" column.
+    pub fn full_memory_demand_bytes(&self) -> u64 {
+        self.full_gaussians * gs_core::training_bytes_per_gaussian() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_scenes_are_specified() {
+        let specs = SceneSpec::all();
+        assert_eq!(specs.len(), 5);
+        // Gaussians counts grow from Bicycle to BigCity, as in Table 2.
+        for w in specs.windows(2) {
+            assert!(w[0].full_gaussians <= w[1].full_gaussians);
+        }
+        assert_eq!(specs[0].kind, SceneKind::Bicycle);
+        assert_eq!(specs[4].kind, SceneKind::BigCity);
+    }
+
+    #[test]
+    fn memory_demand_matches_table2_order_of_magnitude() {
+        // Table 2: Bicycle ~10 GB, BigCity ~110 GB.  Our estimate only counts
+        // model state (the dominant term), so it should land in the right
+        // range: several GB for Bicycle, ~100 GB for BigCity.
+        let bicycle = SceneSpec::of(SceneKind::Bicycle).full_memory_demand_bytes() as f64 / 1e9;
+        let bigcity = SceneSpec::of(SceneKind::BigCity).full_memory_demand_bytes() as f64 / 1e9;
+        assert!(bicycle > 5.0 && bicycle < 12.0, "bicycle {bicycle} GB");
+        assert!(bigcity > 80.0 && bigcity < 120.0, "bigcity {bigcity} GB");
+    }
+
+    #[test]
+    fn batch_sizes_match_table3() {
+        assert_eq!(SceneSpec::of(SceneKind::Bicycle).batch_size, 4);
+        assert_eq!(SceneSpec::of(SceneKind::Rubble).batch_size, 8);
+        assert_eq!(SceneSpec::of(SceneKind::Alameda).batch_size, 8);
+        assert_eq!(SceneSpec::of(SceneKind::Ithaca).batch_size, 16);
+        assert_eq!(SceneSpec::of(SceneKind::BigCity).batch_size, 64);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SceneKind::BigCity.to_string(), "BigCity");
+        assert_eq!(SceneKind::Ithaca.to_string(), "Ithaca");
+    }
+}

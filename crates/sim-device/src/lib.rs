@@ -1,0 +1,45 @@
+//! Simulated device substrate for the CLM reproduction.
+//!
+//! The CLM paper is a *systems* paper: its contribution is a data-placement
+//! and scheduling policy for 3DGS training on a GPU whose memory is smaller
+//! than the model.  This crate provides the hardware model that policy runs
+//! against in the absence of a physical GPU:
+//!
+//! * [`DeviceProfile`] — capacities and rates of the two paper testbeds
+//!   (RTX 4090 / PCIe 4.0 and RTX 2080 Ti / PCIe 3.0) and an analytic cost
+//!   model for rendering, transfers and Adam updates;
+//! * [`MemoryPool`] — GPU and pinned-host memory accounting with
+//!   per-category breakdowns and out-of-memory errors;
+//! * [`Timeline`] — a discrete-event scheduler over CUDA-stream-like lanes
+//!   with cross-lane dependencies, from which makespan, overlap,
+//!   utilisation and idle-rate statistics are derived;
+//! * [`metrics`] — the Nsight-style utilisation numbers reported in the
+//!   paper's Table 7 and Figure 15.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_device::{DeviceProfile, Timeline, Lane, OpKind};
+//!
+//! let profile = DeviceProfile::rtx4090();
+//! let mut timeline = Timeline::new();
+//! let load = timeline.push_with_bytes(
+//!     OpKind::LoadParams, Lane::GpuComm, profile.transfer_time(1 << 20), 1 << 20, &[]);
+//! let fwd = timeline.push(
+//!     OpKind::Forward, Lane::GpuCompute, profile.forward_time(10_000, 256 * 256), &[load]);
+//! timeline.push(OpKind::Backward, Lane::GpuCompute,
+//!               profile.backward_time(10_000, 256 * 256), &[fwd]);
+//! assert!(timeline.makespan() > 0.0);
+//! ```
+
+pub mod device;
+pub mod memory;
+pub mod metrics;
+pub mod timeline;
+
+pub use device::{DeviceProfile, GIB};
+pub use memory::{AllocationId, MemoryCategory, MemoryPool, OutOfMemory};
+pub use metrics::{
+    gpu_idle_rate_cdf, hardware_utilization, mean_gpu_utilization, HardwareUtilization,
+};
+pub use timeline::{empirical_cdf, Lane, OpId, OpKind, ScheduledOp, Timeline};

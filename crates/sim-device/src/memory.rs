@@ -1,0 +1,309 @@
+//! Simulated memory pools: GPU device memory and pinned host memory.
+//!
+//! The pools do not hold real data — the actual Gaussian parameters live in
+//! ordinary Rust vectors owned by the trainer — but every allocation a real
+//! implementation would make on the GPU (model state, activations, transfer
+//! buffers) is mirrored here so that capacity limits, OOM behaviour and the
+//! per-category memory breakdowns of Figure 10 can be reproduced exactly.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// What an allocation is used for; drives the Figure 10 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryCategory {
+    /// Gaussian parameters, gradients and optimiser moments.
+    ModelState,
+    /// Activations of the forward/backward pass.
+    Activation,
+    /// Transfer (double) buffers used by offloading.
+    TransferBuffer,
+    /// Everything else (index tensors, workspace, CUDA context, ...).
+    Other,
+}
+
+impl MemoryCategory {
+    /// All categories in display order.
+    pub const ALL: [MemoryCategory; 4] = [
+        MemoryCategory::ModelState,
+        MemoryCategory::Activation,
+        MemoryCategory::TransferBuffer,
+        MemoryCategory::Other,
+    ];
+}
+
+impl fmt::Display for MemoryCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemoryCategory::ModelState => "model states",
+            MemoryCategory::Activation => "activations",
+            MemoryCategory::TransferBuffer => "transfer buffers",
+            MemoryCategory::Other => "others",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when an allocation would exceed the pool capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes already in use.
+    pub in_use: u64,
+    /// Pool capacity in bytes.
+    pub capacity: u64,
+    /// Name of the pool ("GPU", "pinned host", ...).
+    pub pool: String,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} out of memory: requested {} bytes with {} of {} bytes already in use",
+            self.pool, self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl Error for OutOfMemory {}
+
+/// Identifier of a live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AllocationId(u64);
+
+/// A fixed-capacity memory pool with per-category accounting and a
+/// high-water mark.
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    name: String,
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    next_id: u64,
+    allocations: HashMap<AllocationId, (MemoryCategory, u64)>,
+}
+
+impl MemoryPool {
+    /// Creates a pool with the given capacity in bytes.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        MemoryPool {
+            name: name.into(),
+            capacity,
+            in_use: 0,
+            peak: 0,
+            next_id: 0,
+            allocations: HashMap::new(),
+        }
+    }
+
+    /// The pool name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// Highest number of bytes ever allocated simultaneously.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Allocates `bytes` in `category`.
+    ///
+    /// # Errors
+    /// Returns [`OutOfMemory`] if the allocation would exceed the capacity;
+    /// the pool is left unchanged in that case.
+    pub fn allocate(
+        &mut self,
+        category: MemoryCategory,
+        bytes: u64,
+    ) -> Result<AllocationId, OutOfMemory> {
+        if self.in_use + bytes > self.capacity {
+            return Err(OutOfMemory {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+                pool: self.name.clone(),
+            });
+        }
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.allocations.insert(id, (category, bytes));
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        Ok(id)
+    }
+
+    /// Frees a previous allocation.  Freeing an unknown id is a no-op and
+    /// returns `false`.
+    pub fn free(&mut self, id: AllocationId) -> bool {
+        if let Some((_, bytes)) = self.allocations.remove(&id) {
+            self.in_use -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Frees every live allocation in `category`, returning the number of
+    /// bytes released.
+    pub fn free_category(&mut self, category: MemoryCategory) -> u64 {
+        let ids: Vec<AllocationId> = self
+            .allocations
+            .iter()
+            .filter(|(_, (c, _))| *c == category)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut released = 0;
+        for id in ids {
+            if let Some((_, bytes)) = self.allocations.remove(&id) {
+                released += bytes;
+                self.in_use -= bytes;
+            }
+        }
+        released
+    }
+
+    /// Bytes currently allocated in `category`.
+    pub fn in_use_by(&self, category: MemoryCategory) -> u64 {
+        self.allocations
+            .values()
+            .filter(|(c, _)| *c == category)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Per-category breakdown of the current usage, in display order.
+    pub fn breakdown(&self) -> Vec<(MemoryCategory, u64)> {
+        MemoryCategory::ALL
+            .iter()
+            .map(|&c| (c, self.in_use_by(c)))
+            .collect()
+    }
+
+    /// Convenience: would an allocation of `bytes` succeed right now?
+    pub fn can_allocate(&self, bytes: u64) -> bool {
+        self.in_use + bytes <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocate_free_cycle() {
+        let mut pool = MemoryPool::new("GPU", 1000);
+        let a = pool.allocate(MemoryCategory::ModelState, 400).unwrap();
+        let b = pool.allocate(MemoryCategory::Activation, 500).unwrap();
+        assert_eq!(pool.in_use(), 900);
+        assert_eq!(pool.available(), 100);
+        assert_eq!(pool.peak(), 900);
+        assert_eq!(pool.allocation_count(), 2);
+        assert!(pool.free(a));
+        assert_eq!(pool.in_use(), 500);
+        assert!(!pool.free(a), "double free is a no-op");
+        assert!(pool.free(b));
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.peak(), 900, "peak survives frees");
+    }
+
+    #[test]
+    fn oom_is_reported_and_leaves_pool_unchanged() {
+        let mut pool = MemoryPool::new("GPU", 100);
+        pool.allocate(MemoryCategory::ModelState, 80).unwrap();
+        let err = pool.allocate(MemoryCategory::Activation, 30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("out of memory"));
+        assert_eq!(pool.in_use(), 80);
+    }
+
+    #[test]
+    fn category_breakdown() {
+        let mut pool = MemoryPool::new("GPU", 1000);
+        pool.allocate(MemoryCategory::ModelState, 300).unwrap();
+        pool.allocate(MemoryCategory::ModelState, 100).unwrap();
+        pool.allocate(MemoryCategory::Activation, 200).unwrap();
+        pool.allocate(MemoryCategory::TransferBuffer, 50).unwrap();
+        assert_eq!(pool.in_use_by(MemoryCategory::ModelState), 400);
+        assert_eq!(pool.in_use_by(MemoryCategory::Activation), 200);
+        assert_eq!(pool.in_use_by(MemoryCategory::Other), 0);
+        let breakdown = pool.breakdown();
+        let total: u64 = breakdown.iter().map(|(_, b)| *b).sum();
+        assert_eq!(total, pool.in_use());
+    }
+
+    #[test]
+    fn free_category_releases_everything_in_it() {
+        let mut pool = MemoryPool::new("GPU", 1000);
+        pool.allocate(MemoryCategory::Activation, 200).unwrap();
+        pool.allocate(MemoryCategory::Activation, 300).unwrap();
+        pool.allocate(MemoryCategory::ModelState, 100).unwrap();
+        assert_eq!(pool.free_category(MemoryCategory::Activation), 500);
+        assert_eq!(pool.in_use(), 100);
+        assert_eq!(pool.free_category(MemoryCategory::Activation), 0);
+    }
+
+    #[test]
+    fn can_allocate_matches_allocate() {
+        let mut pool = MemoryPool::new("GPU", 100);
+        assert!(pool.can_allocate(100));
+        assert!(!pool.can_allocate(101));
+        pool.allocate(MemoryCategory::Other, 60).unwrap();
+        assert!(pool.can_allocate(40));
+        assert!(!pool.can_allocate(41));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<OutOfMemory>();
+    }
+
+    proptest! {
+        #[test]
+        fn prop_usage_never_exceeds_capacity(ops in proptest::collection::vec((0u64..300, 0u8..4), 1..200)) {
+            let mut pool = MemoryPool::new("GPU", 2000);
+            let mut live: Vec<AllocationId> = Vec::new();
+            for (bytes, action) in ops {
+                if action == 3 && !live.is_empty() {
+                    let id = live.remove(bytes as usize % live.len());
+                    pool.free(id);
+                } else {
+                    let cat = MemoryCategory::ALL[action as usize % 4];
+                    if let Ok(id) = pool.allocate(cat, bytes) {
+                        live.push(id);
+                    }
+                }
+                prop_assert!(pool.in_use() <= pool.capacity());
+                prop_assert!(pool.peak() >= pool.in_use());
+                let total: u64 = pool.breakdown().iter().map(|(_, b)| *b).sum();
+                prop_assert_eq!(total, pool.in_use());
+            }
+        }
+    }
+}

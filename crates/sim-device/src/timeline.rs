@@ -1,0 +1,375 @@
+//! Discrete-event execution timeline.
+//!
+//! The paper's performance results all come from how work is laid out on
+//! three concurrent "lanes" — the GPU compute stream, the GPU communication
+//! stream and the dedicated CPU Adam thread — and how much of it can be
+//! overlapped.  [`Timeline`] reproduces this: operations are submitted to a
+//! lane in program order (like a CUDA stream), may depend on operations in
+//! other lanes (like CUDA events), and are scheduled as early as those two
+//! constraints allow.  From the resulting schedule we derive makespan,
+//! per-lane busy time, idle-rate CDFs (Figure 15) and utilisation metrics
+//! (Table 7).
+
+use std::collections::HashMap;
+
+/// An execution resource that serialises the operations submitted to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lane {
+    /// The GPU compute stream (stream 0 in Figure 6).
+    GpuCompute,
+    /// The GPU communication stream (stream 1 in Figure 6).
+    GpuComm,
+    /// The dedicated CPU Adam thread.
+    CpuAdam,
+    /// The host Python/scheduling thread (frustum culling, TSP ordering).
+    CpuScheduler,
+}
+
+impl Lane {
+    /// All lanes in display order.
+    pub const ALL: [Lane; 4] = [Lane::GpuCompute, Lane::GpuComm, Lane::CpuAdam, Lane::CpuScheduler];
+}
+
+/// The kind of work an operation represents; used for run-time breakdowns
+/// (Figure 13) and communication-volume accounting (Figure 14, Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Forward rendering pass of one micro-batch.
+    Forward,
+    /// Backward pass of one micro-batch.
+    Backward,
+    /// Parameter load from CPU to GPU memory.
+    LoadParams,
+    /// Gradient store from GPU to CPU memory.
+    StoreGrads,
+    /// On-GPU copy of cached Gaussians between double buffers.
+    CacheCopy,
+    /// Adam update executed on the CPU thread.
+    CpuAdamUpdate,
+    /// Adam update executed on the GPU (GPU-only baselines).
+    GpuAdamUpdate,
+    /// Frustum culling, ordering and other scheduling work.
+    Scheduling,
+    /// Anything else.
+    Other,
+}
+
+/// Identifier of a submitted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(usize);
+
+/// A scheduled operation with its resolved start and end times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledOp {
+    /// Identifier.
+    pub id: OpId,
+    /// Work classification.
+    pub kind: OpKind,
+    /// Lane the operation ran on.
+    pub lane: Lane,
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+    /// Bytes moved (zero for pure compute).
+    pub bytes: u64,
+}
+
+impl ScheduledOp {
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// An as-early-as-possible scheduler over serialising lanes with
+/// cross-lane dependencies.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    ops: Vec<ScheduledOp>,
+    lane_available: HashMap<Lane, f64>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits an operation of `kind` to `lane` lasting `duration` seconds,
+    /// not starting before every operation in `deps` has finished.
+    /// Returns the operation id.
+    ///
+    /// # Panics
+    /// Panics if `duration` is negative or a dependency id is unknown.
+    pub fn push(&mut self, kind: OpKind, lane: Lane, duration: f64, deps: &[OpId]) -> OpId {
+        self.push_with_bytes(kind, lane, duration, 0, deps)
+    }
+
+    /// Like [`push`](Self::push) but records `bytes` moved by the operation
+    /// (for communication accounting).
+    ///
+    /// # Panics
+    /// Panics if `duration` is negative or a dependency id is unknown.
+    pub fn push_with_bytes(
+        &mut self,
+        kind: OpKind,
+        lane: Lane,
+        duration: f64,
+        bytes: u64,
+        deps: &[OpId],
+    ) -> OpId {
+        assert!(duration >= 0.0, "duration must be non-negative, got {duration}");
+        let lane_ready = *self.lane_available.get(&lane).unwrap_or(&0.0);
+        let deps_ready = deps
+            .iter()
+            .map(|d| {
+                self.ops
+                    .get(d.0)
+                    .unwrap_or_else(|| panic!("unknown dependency {d:?}"))
+                    .end
+            })
+            .fold(0.0f64, f64::max);
+        let start = lane_ready.max(deps_ready);
+        let end = start + duration;
+        let id = OpId(self.ops.len());
+        self.ops.push(ScheduledOp {
+            id,
+            kind,
+            lane,
+            start,
+            end,
+            bytes,
+        });
+        self.lane_available.insert(lane, end);
+        id
+    }
+
+    /// All scheduled operations in submission order.
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// End time of operation `id`.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown.
+    pub fn end_of(&self, id: OpId) -> f64 {
+        self.ops[id.0].end
+    }
+
+    /// Completion time of the whole schedule (0 for an empty timeline).
+    pub fn makespan(&self) -> f64 {
+        self.ops.iter().map(|o| o.end).fold(0.0, f64::max)
+    }
+
+    /// Total busy time of a lane.
+    pub fn busy_time(&self, lane: Lane) -> f64 {
+        self.ops
+            .iter()
+            .filter(|o| o.lane == lane)
+            .map(ScheduledOp::duration)
+            .sum()
+    }
+
+    /// Total time spent on operations of `kind` (across all lanes).
+    pub fn time_by_kind(&self, kind: OpKind) -> f64 {
+        self.ops
+            .iter()
+            .filter(|o| o.kind == kind)
+            .map(ScheduledOp::duration)
+            .sum()
+    }
+
+    /// Total bytes moved by operations of `kind`.
+    pub fn bytes_by_kind(&self, kind: OpKind) -> u64 {
+        self.ops.iter().filter(|o| o.kind == kind).map(|o| o.bytes).sum()
+    }
+
+    /// Fraction of the makespan a lane was busy (0 for an empty timeline).
+    pub fn utilization(&self, lane: Lane) -> f64 {
+        let makespan = self.makespan();
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.busy_time(lane) / makespan
+        }
+    }
+
+    /// Busy intervals of a lane, sorted by start time.
+    pub fn intervals(&self, lane: Lane) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = self
+            .ops
+            .iter()
+            .filter(|o| o.lane == lane && o.duration() > 0.0)
+            .map(|o| (o.start, o.end))
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        out
+    }
+
+    /// Per-window idle rates of a lane, the quantity whose CDF the paper
+    /// plots in Figure 15 (`100 − SMs Active`, sampled over windows of
+    /// `window` seconds).  Returns one idle fraction in `[0, 1]` per window
+    /// covering `[0, makespan)`.
+    ///
+    /// # Panics
+    /// Panics if `window` is not strictly positive.
+    pub fn idle_rates(&self, lane: Lane, window: f64) -> Vec<f64> {
+        assert!(window > 0.0, "window must be positive");
+        let makespan = self.makespan();
+        if makespan <= 0.0 {
+            return Vec::new();
+        }
+        let intervals = self.intervals(lane);
+        let num_windows = (makespan / window).ceil() as usize;
+        let mut rates = Vec::with_capacity(num_windows);
+        for w in 0..num_windows {
+            let w_start = w as f64 * window;
+            let w_end = (w_start + window).min(makespan);
+            let span = w_end - w_start;
+            if span <= 0.0 {
+                break;
+            }
+            let mut busy = 0.0;
+            for &(s, e) in &intervals {
+                let overlap = (e.min(w_end) - s.max(w_start)).max(0.0);
+                busy += overlap;
+            }
+            rates.push(1.0 - (busy / span).min(1.0));
+        }
+        rates
+    }
+}
+
+/// Empirical CDF of a sample set: returns `(value, cumulative_fraction)`
+/// pairs sorted by value.  Useful for reproducing the paper's CDF figures
+/// (sparsity in Figure 5, GPU idle rate in Figure 15).
+pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lane_serializes() {
+        let mut t = Timeline::new();
+        let a = t.push(OpKind::Forward, Lane::GpuCompute, 2.0, &[]);
+        let b = t.push(OpKind::Backward, Lane::GpuCompute, 3.0, &[]);
+        assert_eq!(t.end_of(a), 2.0);
+        assert_eq!(t.end_of(b), 5.0);
+        assert_eq!(t.makespan(), 5.0);
+        assert_eq!(t.busy_time(Lane::GpuCompute), 5.0);
+        assert_eq!(t.utilization(Lane::GpuCompute), 1.0);
+    }
+
+    #[test]
+    fn independent_lanes_overlap() {
+        let mut t = Timeline::new();
+        t.push(OpKind::Forward, Lane::GpuCompute, 4.0, &[]);
+        t.push(OpKind::LoadParams, Lane::GpuComm, 3.0, &[]);
+        assert_eq!(t.makespan(), 4.0);
+        assert!(t.utilization(Lane::GpuComm) < 1.0);
+    }
+
+    #[test]
+    fn dependencies_delay_start() {
+        let mut t = Timeline::new();
+        let load = t.push(OpKind::LoadParams, Lane::GpuComm, 2.0, &[]);
+        let fwd = t.push(OpKind::Forward, Lane::GpuCompute, 1.0, &[load]);
+        assert_eq!(t.ops()[fwd.0].start, 2.0);
+        assert_eq!(t.makespan(), 3.0);
+    }
+
+    #[test]
+    fn pipelined_schedule_overlaps_comm_and_compute() {
+        // Two micro-batches: load(i+1) overlaps with compute(i), the
+        // structure CLM's micro-batch pipelining produces (Figure 6).
+        let mut t = Timeline::new();
+        let load1 = t.push(OpKind::LoadParams, Lane::GpuComm, 1.0, &[]);
+        let fwd1 = t.push(OpKind::Forward, Lane::GpuCompute, 2.0, &[load1]);
+        let load2 = t.push(OpKind::LoadParams, Lane::GpuComm, 1.0, &[]);
+        let bwd1 = t.push(OpKind::Backward, Lane::GpuCompute, 2.0, &[fwd1]);
+        let fwd2 = t.push(OpKind::Forward, Lane::GpuCompute, 2.0, &[load2, bwd1]);
+        let _bwd2 = t.push(OpKind::Backward, Lane::GpuCompute, 2.0, &[fwd2]);
+        // Without overlap this would take 2 loads + 4 compute = 10; with
+        // overlap the second load hides behind compute.
+        assert_eq!(t.makespan(), 9.0);
+        assert_eq!(t.busy_time(Lane::GpuComm), 2.0);
+        assert_eq!(t.busy_time(Lane::GpuCompute), 8.0);
+    }
+
+    #[test]
+    fn bytes_and_kind_accounting() {
+        let mut t = Timeline::new();
+        t.push_with_bytes(OpKind::LoadParams, Lane::GpuComm, 1.0, 1000, &[]);
+        t.push_with_bytes(OpKind::LoadParams, Lane::GpuComm, 1.0, 500, &[]);
+        t.push_with_bytes(OpKind::StoreGrads, Lane::GpuComm, 1.0, 700, &[]);
+        assert_eq!(t.bytes_by_kind(OpKind::LoadParams), 1500);
+        assert_eq!(t.bytes_by_kind(OpKind::StoreGrads), 700);
+        assert_eq!(t.time_by_kind(OpKind::LoadParams), 2.0);
+    }
+
+    #[test]
+    fn idle_rates_reflect_gaps() {
+        let mut t = Timeline::new();
+        let a = t.push(OpKind::Forward, Lane::GpuCompute, 1.0, &[]);
+        // Communication creates a 1-second gap on the compute lane.
+        let b = t.push(OpKind::LoadParams, Lane::GpuComm, 2.0, &[a]);
+        t.push(OpKind::Forward, Lane::GpuCompute, 1.0, &[b]);
+        let rates = t.idle_rates(Lane::GpuCompute, 1.0);
+        assert_eq!(rates.len(), 4);
+        assert_eq!(rates[0], 0.0);
+        assert_eq!(rates[1], 1.0);
+        assert_eq!(rates[2], 1.0);
+        assert_eq!(rates[3], 0.0);
+    }
+
+    #[test]
+    fn idle_rates_of_fully_busy_lane_are_zero() {
+        let mut t = Timeline::new();
+        t.push(OpKind::Forward, Lane::GpuCompute, 5.0, &[]);
+        let rates = t.idle_rates(Lane::GpuCompute, 0.5);
+        assert!(rates.iter().all(|r| *r == 0.0));
+    }
+
+    #[test]
+    fn empirical_cdf_is_monotone_and_ends_at_one() {
+        let cdf = empirical_cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf[0].0, 1.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(empirical_cdf(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let mut t = Timeline::new();
+        t.push(OpKind::Other, Lane::GpuCompute, -1.0, &[]);
+    }
+
+    #[test]
+    fn empty_timeline_metrics() {
+        let t = Timeline::new();
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.utilization(Lane::GpuCompute), 0.0);
+        assert!(t.idle_rates(Lane::GpuCompute, 1.0).is_empty());
+    }
+}

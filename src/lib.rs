@@ -1,0 +1,19 @@
+//! Workspace root crate for the CLM reproduction.
+//!
+//! This crate only re-exports the member crates so that the `examples/` and
+//! integration `tests/` at the repository root can reach every subsystem
+//! through a single dependency.  The actual functionality lives in:
+//!
+//! * [`gs_core`] — Gaussian model, cameras, frustum culling, visibility sets.
+//! * [`gs_render`] — differentiable CPU rasteriser, losses, PSNR.
+//! * [`gs_optim`] — Adam optimiser (dense + sparse) and gradient accumulation.
+//! * [`gs_scene`] — synthetic evaluation scenes and densification.
+//! * [`sim_device`] — simulated GPU/CPU/PCIe substrate and event timeline.
+//! * [`clm_core`] — the CLM offloading system and the baseline trainers.
+
+pub use clm_core;
+pub use gs_core;
+pub use gs_optim;
+pub use gs_render;
+pub use gs_scene;
+pub use sim_device;

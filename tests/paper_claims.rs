@@ -1,0 +1,167 @@
+//! Cross-crate checks of the paper's headline claims, evaluated at paper
+//! scale against the simulated testbeds and the paper-reference scene
+//! profiles.
+
+use clm_repro::clm_core::{
+    max_trainable_gaussians, pinned_memory_required, simulate_batch, synthetic_microbatch_stats,
+    SceneProfile, SystemKind,
+};
+use clm_repro::gs_scene::SceneKind;
+use clm_repro::sim_device::{mean_gpu_utilization, DeviceProfile, GIB};
+
+#[test]
+fn claim_clm_trains_up_to_6x_larger_models_than_gpu_only() {
+    // §6 highlight: "CLM enables 3DGS training of models up to 6.1x larger
+    // through CPU offloading, compared to GPU-only training baselines."
+    let mut best_ratio: f64 = 0.0;
+    for device in [DeviceProfile::rtx2080ti(), DeviceProfile::rtx4090()] {
+        for kind in SceneKind::ALL {
+            let scene = SceneProfile::paper_reference(kind);
+            let clm = max_trainable_gaussians(SystemKind::Clm, &device, &scene) as f64;
+            let enhanced =
+                max_trainable_gaussians(SystemKind::EnhancedBaseline, &device, &scene) as f64;
+            assert!(clm > enhanced, "{kind}: CLM must always scale further");
+            best_ratio = best_ratio.max(clm / enhanced);
+        }
+    }
+    assert!(
+        best_ratio > 4.0,
+        "expected a severalfold max-model-size advantage somewhere, best ratio {best_ratio:.1}"
+    );
+}
+
+#[test]
+fn claim_bigcity_100m_gaussians_fit_on_a_4090_only_with_clm() {
+    let device = DeviceProfile::rtx4090();
+    let scene = SceneProfile::paper_reference(SceneKind::BigCity);
+    let n = 102_200_000;
+    assert!(clm_repro::clm_core::check_memory_fit(SystemKind::Clm, &device, &scene, n).is_ok());
+    for system in [
+        SystemKind::Baseline,
+        SystemKind::EnhancedBaseline,
+        SystemKind::NaiveOffload,
+    ] {
+        assert!(
+            clm_repro::clm_core::check_memory_fit(system, &device, &scene, n).is_err(),
+            "{system} should OOM at 102M Gaussians"
+        );
+    }
+}
+
+#[test]
+fn claim_clm_is_1_4x_to_2x_faster_than_naive_offloading() {
+    // §6 highlight: "Compared to naive offloading, CLM is 1.38 to 1.92
+    // faster."  Allow a wider band for the calibrated simulator: every scene
+    // must show a speedup, and the larger scenes must show a substantial one.
+    for device in [DeviceProfile::rtx2080ti(), DeviceProfile::rtx4090()] {
+        let mut best: f64 = 0.0;
+        for kind in SceneKind::ALL {
+            let scene = SceneProfile::paper_reference(kind);
+            let n = max_trainable_gaussians(SystemKind::NaiveOffload, &device, &scene);
+            let stats = synthetic_microbatch_stats(&scene, n, true);
+            let clm = simulate_batch(SystemKind::Clm, &device, &scene, n, &stats);
+            let naive = simulate_batch(SystemKind::NaiveOffload, &device, &scene, n, &stats);
+            let speedup = clm.throughput / naive.throughput;
+            assert!(
+                (1.02..4.0).contains(&speedup),
+                "{} / {kind}: speedup {speedup:.2} outside the expected band",
+                device.name
+            );
+            best = best.max(speedup);
+        }
+        assert!(
+            best > 1.35,
+            "{}: expected at least one scene with a >1.35x speedup, best {best:.2}",
+            device.name
+        );
+    }
+}
+
+#[test]
+fn claim_clm_offloading_overhead_is_modest_vs_enhanced_baseline() {
+    // §6: CLM reaches 86–97% of the enhanced baseline on the 2080 Ti and
+    // 55–90% on the 4090; the slower GPU always hides overheads better.
+    for kind in SceneKind::ALL {
+        let scene = SceneProfile::paper_reference(kind);
+        let mut fractions = Vec::new();
+        for device in [DeviceProfile::rtx4090(), DeviceProfile::rtx2080ti()] {
+            let n = max_trainable_gaussians(SystemKind::Baseline, &device, &scene);
+            let stats = synthetic_microbatch_stats(&scene, n, true);
+            let clm = simulate_batch(SystemKind::Clm, &device, &scene, n, &stats);
+            let enhanced = simulate_batch(SystemKind::EnhancedBaseline, &device, &scene, n, &stats);
+            let fraction = clm.throughput / enhanced.throughput;
+            assert!(
+                (0.4..=1.02).contains(&fraction),
+                "{kind} on {}: CLM reaches {fraction:.2} of the enhanced baseline",
+                device.name
+            );
+            fractions.push(fraction);
+        }
+        assert!(
+            fractions[1] >= fractions[0] - 0.05,
+            "{kind}: the slower GPU should hide offloading overheads at least as well \
+             (4090 {:.2} vs 2080 Ti {:.2})",
+            fractions[0],
+            fractions[1]
+        );
+    }
+}
+
+#[test]
+fn claim_clm_reduces_communication_volume_massively() {
+    // Figure 14: CLM cuts CPU->GPU traffic by 37%–82% versus naive
+    // offloading across the scenes.
+    let device = DeviceProfile::rtx4090();
+    for kind in SceneKind::ALL {
+        let scene = SceneProfile::paper_reference(kind);
+        let n = max_trainable_gaussians(SystemKind::NaiveOffload, &device, &scene);
+        let stats = synthetic_microbatch_stats(&scene, n, true);
+        let clm = simulate_batch(SystemKind::Clm, &device, &scene, n, &stats);
+        let naive = simulate_batch(SystemKind::NaiveOffload, &device, &scene, n, &stats);
+        let reduction = 1.0 - clm.bytes_loaded as f64 / naive.bytes_loaded as f64;
+        assert!(
+            reduction > 0.3,
+            "{kind}: expected >30% traffic reduction, got {:.0}%",
+            reduction * 100.0
+        );
+    }
+}
+
+#[test]
+fn claim_clm_keeps_the_gpu_busier_than_naive_offloading() {
+    // Figure 15: CLM's idle-rate CDF dominates naive offloading's.
+    let device = DeviceProfile::rtx4090();
+    for kind in SceneKind::ALL {
+        let scene = SceneProfile::paper_reference(kind);
+        let n = max_trainable_gaussians(SystemKind::NaiveOffload, &device, &scene);
+        let stats = synthetic_microbatch_stats(&scene, n, true);
+        let clm = simulate_batch(SystemKind::Clm, &device, &scene, n, &stats);
+        let naive = simulate_batch(SystemKind::NaiveOffload, &device, &scene, n, &stats);
+        let window = naive.timeline.makespan() / 200.0;
+        let clm_util = mean_gpu_utilization(&clm.timeline, window);
+        let naive_util = mean_gpu_utilization(&naive.timeline, window);
+        assert!(
+            clm_util > naive_util,
+            "{kind}: CLM GPU utilisation {clm_util:.1}% should exceed naive {naive_util:.1}%"
+        );
+    }
+}
+
+#[test]
+fn claim_pinned_memory_stays_well_below_host_capacity() {
+    // Table 6: even for the largest models, pinned memory stays under ~30%
+    // of host RAM.
+    for device in [DeviceProfile::rtx2080ti(), DeviceProfile::rtx4090()] {
+        for kind in SceneKind::ALL {
+            let scene = SceneProfile::paper_reference(kind);
+            let n = max_trainable_gaussians(SystemKind::Clm, &device, &scene);
+            let pinned = pinned_memory_required(n);
+            assert!(
+                (pinned as f64) < 0.5 * device.host_memory_bytes as f64,
+                "{kind} on {}: pinned {:.1} GB exceeds half of host memory",
+                device.name,
+                pinned as f64 / GIB as f64
+            );
+        }
+    }
+}
