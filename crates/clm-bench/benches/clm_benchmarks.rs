@@ -131,9 +131,7 @@ fn bench_pipeline_simulation(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{system}")),
             &system,
-            |b, &system| {
-                b.iter(|| black_box(simulate_batch(system, &device, &scene, n, &stats)))
-            },
+            |b, &system| b.iter(|| black_box(simulate_batch(system, &device, &scene, n, &stats))),
         );
     }
     group.finish();

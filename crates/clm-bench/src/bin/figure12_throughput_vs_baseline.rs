@@ -1,4 +1,7 @@
-//! Regenerates one artefact of the CLM paper's evaluation; see EXPERIMENTS.md.
+//! Figure 12 artefact: CLM vs GPU-only baselines training throughput,
+//! measured by executing the trainers on the pipelined runtime.  Prints one
+//! JSON summary line on stdout (bench-harness idiom); the table-formatted
+//! variant remains available via the `paper_figures` binary.
 fn main() {
-    print!("{}", clm_bench::report_figure12_throughput_vs_baseline());
+    println!("{}", clm_bench::runtime_summary_figure12());
 }

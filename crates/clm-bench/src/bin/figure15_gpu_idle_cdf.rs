@@ -1,4 +1,8 @@
-//! Regenerates one artefact of the CLM paper's evaluation; see EXPERIMENTS.md.
+//! Figure 15 artefact: GPU idle-rate comparison between the pipelined CLM
+//! schedule, the no-overlap schedule and naive offloading, measured by the
+//! pipelined runtime.  Prints one JSON summary line on stdout (bench-harness
+//! idiom); the table-formatted variant remains available via the
+//! `paper_figures` binary.
 fn main() {
-    print!("{}", clm_bench::report_figure15_gpu_idle_cdf());
+    println!("{}", clm_bench::runtime_summary_figure15());
 }

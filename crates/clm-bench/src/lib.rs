@@ -10,6 +10,13 @@
 //! *shapes* — who wins, by roughly what factor, and where the crossovers
 //! fall — are the reproduction target, recorded in `EXPERIMENTS.md`.
 
+pub mod runtime_reports;
+
+pub use runtime_reports::{
+    runtime_summary_figure11, runtime_summary_figure12, runtime_summary_figure15,
+    runtime_summary_table7,
+};
+
 use clm_core::{
     gpu_memory_required, ground_truth_images, max_trainable_gaussians, pinned_memory_required,
     simulate_batch, synthetic_microbatch_stats, OrderingStrategy, SceneProfile, SystemKind,
@@ -26,7 +33,8 @@ use sim_device::{
 /// ~1/10⁴ of the paper's Gaussian counts; analytic experiments evaluate the
 /// memory/performance model at full scale using sparsity measured on the
 /// synthetic scenes.
-pub const SCALE_NOTE: &str = "synthetic scenes at reduced scale; sparsity/locality measured on them, \
+pub const SCALE_NOTE: &str =
+    "synthetic scenes at reduced scale; sparsity/locality measured on them, \
      memory & performance evaluated analytically at full paper scale";
 
 /// Dataset size used when measuring scene profiles (kept modest so every
@@ -60,7 +68,6 @@ pub fn all_profiles(ordering: OrderingStrategy) -> Vec<(SceneKind, SceneProfile)
         .map(|&k| (k, measured_profile(k, ordering)))
         .collect()
 }
-
 
 /// The paper-reference scene profiles (sparsity and locality taken from the
 /// paper's own reported numbers) used for paper-scale analytic experiments.
@@ -108,6 +115,18 @@ fn gib(bytes: u64) -> String {
     format!("{:.1}", bytes as f64 / GIB as f64)
 }
 
+/// Value at quantile `q` of an empirical CDF given as sorted
+/// `(value, cumulative_fraction)` pairs (0 for an empty CDF).  Shared by the
+/// table reports and the runtime JSON summaries so every figure uses the
+/// same quantile convention.
+pub(crate) fn cdf_quantile(cdf: &[(f64, f64)], q: f64) -> f64 {
+    if cdf.is_empty() {
+        return 0.0;
+    }
+    let idx = ((cdf.len() as f64 * q).ceil() as usize).clamp(1, cdf.len()) - 1;
+    cdf[idx].0
+}
+
 fn millions(n: u64) -> String {
     format!("{:.1}", n as f64 / 1e6)
 }
@@ -127,7 +146,12 @@ pub fn report_table2_memory_demand() -> String {
         .collect();
     format_table(
         "Table 2: memory demand of the evaluation scenes",
-        &["Scene", "Resolution", "# Gaussians (M)", "Model-state demand (GB)"],
+        &[
+            "Scene",
+            "Resolution",
+            "# Gaussians (M)",
+            "Model-state demand (GB)",
+        ],
         &rows,
     )
 }
@@ -143,8 +167,7 @@ pub fn report_figure5_sparsity_cdf() -> String {
         let cdf = empirical_cdf(&rho);
         let mut row = vec![kind.to_string()];
         for &q in &quantiles {
-            let idx = ((cdf.len() as f64 * q).ceil() as usize).clamp(1, cdf.len()) - 1;
-            row.push(format!("{:.4}", cdf[idx].0));
+            row.push(format!("{:.4}", cdf_quantile(&cdf, q)));
         }
         let mean = rho.iter().sum::<f64>() / rho.len() as f64;
         row.push(format!("{mean:.4}"));
@@ -175,7 +198,10 @@ pub fn report_figure8_max_model_size() -> String {
             rows.push(row);
         }
         out.push_str(&format_table(
-            &format!("Figure 8 ({}): max trainable model size (million Gaussians)", device.name),
+            &format!(
+                "Figure 8 ({}): max trainable model size (million Gaussians)",
+                device.name
+            ),
             &["Scene", "Baseline", "Enhanced", "Naive Offload", "CLM"],
             &rows,
         ));
@@ -238,7 +264,9 @@ pub fn report_figure9_quality_scaling() -> String {
         &["Model size (Gaussians)", "PSNR (dB)", "final L1 loss"],
         &rows,
     );
-    out.push_str("note: reduced-scale functional training; the paper's claim is the upward trend\n");
+    out.push_str(
+        "note: reduced-scale functional training; the paper's claim is the upward trend\n",
+    );
     out
 }
 
@@ -248,8 +276,14 @@ pub fn report_figure10_memory_breakdown() -> String {
     let mut out = String::new();
     let device = DeviceProfile::rtx4090();
     let cases = [
-        (SceneKind::Rubble, vec![15_300_000u64, 30_400_000, 45_200_000]),
-        (SceneKind::BigCity, vec![15_300_000, 46_000_000, 102_200_000]),
+        (
+            SceneKind::Rubble,
+            vec![15_300_000u64, 30_400_000, 45_200_000],
+        ),
+        (
+            SceneKind::BigCity,
+            vec![15_300_000, 46_000_000, 102_200_000],
+        ),
     ];
     for (kind, sizes) in cases {
         let scene = SceneProfile::paper_reference(kind);
@@ -263,13 +297,23 @@ pub fn report_figure10_memory_breakdown() -> String {
                     system.to_string(),
                     gib(est.model_state),
                     gib(est.others()),
-                    if fits { gib(est.total()) } else { "OOM".to_string() },
+                    if fits {
+                        gib(est.total())
+                    } else {
+                        "OOM".to_string()
+                    },
                 ]);
             }
         }
         out.push_str(&format_table(
             &format!("Figure 10 ({kind}, RTX 4090): GPU memory breakdown (GB)"),
-            &["Model size (M)", "System", "Model states", "Others", "Total"],
+            &[
+                "Model size (M)",
+                "System",
+                "Model states",
+                "Others",
+                "Total",
+            ],
             &rows,
         ));
         out.push('\n');
@@ -323,7 +367,11 @@ pub fn report_figure11_throughput_vs_naive() -> String {
 pub fn report_figure12_throughput_vs_baseline() -> String {
     throughput_report(
         "Figure 12: CLM vs GPU-only baselines throughput",
-        &[SystemKind::Baseline, SystemKind::EnhancedBaseline, SystemKind::Clm],
+        &[
+            SystemKind::Baseline,
+            SystemKind::EnhancedBaseline,
+            SystemKind::Clm,
+        ],
         SystemKind::Baseline,
     )
 }
@@ -435,7 +483,15 @@ pub fn report_figure14_comm_volume() -> String {
     }
     let mut out = format_table(
         "Figure 14: CPU->GPU communication volume per batch (GB, RTX 4090 model sizes)",
-        &["Scene", "Naive", "No Cache", "Random", "Camera", "GS Count", "TSP (CLM)"],
+        &[
+            "Scene",
+            "Naive",
+            "No Cache",
+            "Random",
+            "Camera",
+            "GS Count",
+            "TSP (CLM)",
+        ],
         &rows,
     );
     out.push_str(&format!("note: {SCALE_NOTE}\n"));
@@ -490,26 +546,25 @@ pub fn report_figure15_gpu_idle_cdf() -> String {
             let sim = simulate_batch(system, &device, &scene, n, &stats);
             let window = (sim.timeline.makespan() / 100.0).max(1e-6);
             let cdf = gpu_idle_rate_cdf(&sim.timeline, window);
-            let quantile = |q: f64| -> f64 {
-                if cdf.is_empty() {
-                    return 0.0;
-                }
-                let idx = ((cdf.len() as f64 * q).ceil() as usize).clamp(1, cdf.len()) - 1;
-                cdf[idx].0
-            };
             let util = sim_device::mean_gpu_utilization(&sim.timeline, window);
             rows.push(vec![
                 kind.to_string(),
                 system.to_string(),
                 format!("{:.1}", util),
-                format!("{:.0}", quantile(0.5)),
-                format!("{:.0}", quantile(0.9)),
+                format!("{:.0}", cdf_quantile(&cdf, 0.5)),
+                format!("{:.0}", cdf_quantile(&cdf, 0.9)),
             ]);
         }
     }
     format_table(
         "Figure 15: GPU idle rate (mean SMs-active %, idle-rate p50/p90) on RTX 4090",
-        &["Scene", "System", "Mean GPU util (%)", "Idle rate p50 (%)", "Idle rate p90 (%)"],
+        &[
+            "Scene",
+            "System",
+            "Mean GPU util (%)",
+            "Idle rate p50 (%)",
+            "Idle rate p90 (%)",
+        ],
         &rows,
     )
 }
@@ -529,7 +584,9 @@ pub fn report_table6_pinned_memory() -> String {
     }
     format_table(
         "Table 6: pinned memory usage of CLM at max model size (GB)",
-        &["Testbed", "Bicycle", "Rubble", "Alameda", "Ithaca", "BigCity"],
+        &[
+            "Testbed", "Bicycle", "Rubble", "Alameda", "Ithaca", "BigCity",
+        ],
         &rows,
     )
 }
@@ -558,7 +615,15 @@ pub fn report_table7_hardware_utilization() -> String {
     }
     format_table(
         "Table 7: hardware utilisation (%), CLM vs naive offloading on RTX 4090",
-        &["Scene", "System", "CPU util", "DRAM read", "DRAM write", "PCIe RX", "PCIe TX"],
+        &[
+            "Scene",
+            "System",
+            "CPU util",
+            "DRAM read",
+            "DRAM write",
+            "PCIe RX",
+            "PCIe TX",
+        ],
         &rows,
     )
 }
@@ -591,7 +656,10 @@ mod tests {
         let t = format_table(
             "demo",
             &["a", "long-header"],
-            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "2".into()]],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "2".into()],
+            ],
         );
         assert!(t.contains("# demo"));
         assert!(t.lines().count() >= 4);
@@ -612,7 +680,10 @@ mod tests {
     fn fast_reports_produce_output() {
         // Smoke-test the cheap reports (the expensive ones run in the
         // binaries and integration tests).
-        for report in [report_table2_memory_demand(), report_figure8_max_model_size()] {
+        for report in [
+            report_table2_memory_demand(),
+            report_figure8_max_model_size(),
+        ] {
             assert!(report.len() > 100);
             assert!(report.contains("BigCity"));
         }

@@ -60,5 +60,5 @@ pub use perf::{
     MemoryEstimate, MicrobatchStats, SceneProfile, SystemKind,
 };
 pub use schedule::FinalizationPlan;
-pub use train::{ground_truth_images, BatchReport, TrainConfig, Trainer};
+pub use train::{ground_truth_images, BatchPlan, BatchReport, TrainConfig, Trainer};
 pub use tsp::{solve, solve_exact, DistanceMatrix, TspConfig, TspSolution};

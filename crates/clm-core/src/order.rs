@@ -92,7 +92,14 @@ pub fn order_batch(
         }
         OrderingStrategy::Tsp => {
             let matrix = DistanceMatrix::from_visibility(visibility);
-            solve(&matrix, &TspConfig { seed, ..Default::default() }).tour
+            solve(
+                &matrix,
+                &TspConfig {
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .tour
         }
     }
 }
@@ -110,7 +117,11 @@ fn principal_axis(cameras: &[Camera]) -> usize {
     let mut best_var = f32::MIN;
     for axis in 0..3 {
         let mean: f32 = centers.iter().map(|c| c[axis]).sum::<f32>() / n;
-        let var: f32 = centers.iter().map(|c| (c[axis] - mean).powi(2)).sum::<f32>() / n;
+        let var: f32 = centers
+            .iter()
+            .map(|c| (c[axis] - mean).powi(2))
+            .sum::<f32>()
+            / n;
         if var > best_var {
             best_var = var;
             best_axis = axis;
@@ -151,7 +162,9 @@ mod tests {
 
     fn overlapping_sets(n: usize) -> Vec<VisibilitySet> {
         (0..n)
-            .map(|i| VisibilitySet::from_unsorted(((i * 10) as u32..(i * 10 + 30) as u32).collect()))
+            .map(|i| {
+                VisibilitySet::from_unsorted(((i * 10) as u32..(i * 10 + 30) as u32).collect())
+            })
             .collect()
     }
 

@@ -128,8 +128,8 @@ impl SceneProfile {
             if chunk.len() < 2 {
                 continue;
             }
-            let cameras = &dataset.cameras
-                [batch_idx * batch_size..batch_idx * batch_size + chunk.len()];
+            let cameras =
+                &dataset.cameras[batch_idx * batch_size..batch_idx * batch_size + chunk.len()];
             let order = order_batch(strategy, cameras, chunk, seed + batch_idx as u64);
             let ordered: Vec<VisibilitySet> = order.iter().map(|&i| chunk[i].clone()).collect();
             let plans = plan_batch(&ordered);
@@ -337,10 +337,18 @@ pub fn synthetic_microbatch_stats(
 ) -> Vec<MicrobatchStats> {
     let b = scene.batch_size.max(1);
     let working_set = (scene.rho_mean * n_gaussians as f64).ceil() as u64;
-    let hit = if with_cache { scene.cache_hit_rate } else { 0.0 };
+    let hit = if with_cache {
+        scene.cache_hit_rate
+    } else {
+        0.0
+    };
     let total_touched = working_set + (b as u64 - 1) * (working_set as f64 * (1.0 - hit)) as u64;
     let overlappable = (total_touched as f64 * scene.overlap_fraction) as u64;
-    let per_early = if b > 1 { overlappable / (b as u64 - 1) } else { 0 };
+    let per_early = if b > 1 {
+        overlappable / (b as u64 - 1)
+    } else {
+        0
+    };
     let mut stats = Vec::with_capacity(b);
     for i in 0..b {
         let fetched = if i == 0 {
@@ -644,8 +652,14 @@ mod tests {
 
     #[test]
     fn model_state_bytes_ranking() {
-        assert_eq!(gpu_model_state_bytes_per_gaussian(SystemKind::Baseline), 944);
-        assert_eq!(gpu_model_state_bytes_per_gaussian(SystemKind::NaiveOffload), 472);
+        assert_eq!(
+            gpu_model_state_bytes_per_gaussian(SystemKind::Baseline),
+            944
+        );
+        assert_eq!(
+            gpu_model_state_bytes_per_gaussian(SystemKind::NaiveOffload),
+            472
+        );
         assert_eq!(gpu_model_state_bytes_per_gaussian(SystemKind::Clm), 160);
     }
 
@@ -664,7 +678,12 @@ mod tests {
             assert!(naive < clm, "{}: {naive} vs {clm}", device.name);
             // CLM's advantage over the enhanced baseline is severalfold
             // (the paper reports up to 6.1x).
-            assert!(clm as f64 / enh as f64 > 3.0, "{}: ratio {}", device.name, clm as f64 / enh as f64);
+            assert!(
+                clm as f64 / enh as f64 > 3.0,
+                "{}: ratio {}",
+                device.name,
+                clm as f64 / enh as f64
+            );
         }
     }
 
@@ -690,8 +709,15 @@ mod tests {
         }
         // CLM uses the least GPU memory at equal model size (Figure 10).
         let clm = gpu_memory_required(SystemKind::Clm, 15_300_000, &scene).total();
-        for system in [SystemKind::Baseline, SystemKind::EnhancedBaseline, SystemKind::NaiveOffload] {
-            assert!(gpu_memory_required(system, 15_300_000, &scene).total() > clm, "{system}");
+        for system in [
+            SystemKind::Baseline,
+            SystemKind::EnhancedBaseline,
+            SystemKind::NaiveOffload,
+        ] {
+            assert!(
+                gpu_memory_required(system, 15_300_000, &scene).total() > clm,
+                "{system}"
+            );
         }
     }
 
@@ -744,7 +770,10 @@ mod tests {
         let r2080 = ratio(&DeviceProfile::rtx2080ti());
         assert!(r4090 > 0.4 && r4090 <= 1.05, "4090 ratio {r4090}");
         assert!(r2080 > 0.6 && r2080 <= 1.05, "2080 ratio {r2080}");
-        assert!(r2080 >= r4090 - 0.05, "slower GPU should hide overheads better: {r2080} vs {r4090}");
+        assert!(
+            r2080 >= r4090 - 0.05,
+            "slower GPU should hide overheads better: {r2080} vs {r4090}"
+        );
     }
 
     #[test]
@@ -795,7 +824,7 @@ mod tests {
         assert_eq!(stats[0].fetched, 3);
         assert_eq!(stats[1].fetched, 1); // only {4}
         assert_eq!(stats[2].fetched, 1); // only {5}
-        // Total finalized equals the union size.
+                                         // Total finalized equals the union size.
         let total: u64 = stats.iter().map(|s| s.finalized).sum();
         assert_eq!(total, 5);
     }

@@ -15,7 +15,7 @@ use crate::order::{order_batch, OrderingStrategy};
 use crate::perf::SystemKind;
 use crate::schedule::FinalizationPlan;
 use gs_core::camera::Camera;
-use gs_core::gaussian::GaussianModel;
+use gs_core::gaussian::{GaussianModel, NON_CRITICAL_FLOATS};
 use gs_core::visibility::VisibilitySet;
 use gs_core::PARAMS_PER_GAUSSIAN;
 use gs_optim::{AdamConfig, GaussianAdam, GradientBuffer};
@@ -73,6 +73,60 @@ pub struct BatchReport {
     pub order: Vec<usize>,
 }
 
+/// Everything a trainer decides **before** executing a batch: micro-batch
+/// processing order, per-micro-batch fetch/store sets, finalisation groups
+/// and the batch's PCIe traffic.
+///
+/// The plan is what lets the synchronous [`Trainer`] and the pipelined
+/// runtime (`clm-runtime`) share one numeric execution path: both drive the
+/// same [`Trainer::stage_microbatch`] / [`Trainer::process_microbatch`] /
+/// [`Trainer::apply_finalized`] sequence over the same plan, so their
+/// training trajectories are identical by construction — the runtime merely
+/// interleaves the calls with discrete-event bookkeeping.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// Processing order: `order[i]` is the view index of micro-batch `i`.
+    pub order: Vec<usize>,
+    /// Visibility sets in processing order.
+    pub ordered_sets: Vec<VisibilitySet>,
+    /// Finalisation groups for overlapped CPU Adam.
+    pub finalization: FinalizationPlan,
+    /// `fetched[i]` = Gaussians whose non-critical attributes micro-batch
+    /// `i` must fetch from pinned host memory (empty for non-offloading
+    /// systems).
+    pub fetched: Vec<VisibilitySet>,
+    /// `stored[i]` = Gaussians whose gradients are stored to host memory
+    /// after micro-batch `i` completes (the last entry includes the batch's
+    /// flush; empty for non-offloading systems).
+    pub stored: Vec<VisibilitySet>,
+    /// Gaussians untouched by the whole batch (the `F_0` group, updatable
+    /// immediately under overlapped CPU Adam).
+    pub untouched: VisibilitySet,
+    /// Union of every micro-batch's visibility set.
+    pub touched_union: VisibilitySet,
+    /// Parameter bytes moved CPU→GPU by the batch.
+    pub bytes_loaded: u64,
+    /// Gradient bytes moved GPU→CPU by the batch.
+    pub bytes_stored: u64,
+}
+
+impl BatchPlan {
+    /// Number of micro-batches in the batch.
+    pub fn num_microbatches(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Parameter bytes micro-batch `i` fetches over PCIe.
+    pub fn fetch_bytes(&self, i: usize) -> u64 {
+        (self.fetched[i].len() * NON_CRITICAL_BYTES) as u64
+    }
+
+    /// Gradient bytes stored to host memory after micro-batch `i`.
+    pub fn store_bytes(&self, i: usize) -> u64 {
+        (self.stored[i].len() * GRADIENT_BYTES) as u64
+    }
+}
+
 /// A 3DGS trainer parameterised by an offloading strategy.
 #[derive(Debug)]
 pub struct Trainer {
@@ -118,12 +172,20 @@ impl Trainer {
         self.batches_trained
     }
 
-    /// Trains one batch of posed images.
+    /// Whether this trainer runs the overlapped (early-finalised) CPU Adam
+    /// path (CLM with `overlapped_adam` enabled).
+    pub fn overlapped(&self) -> bool {
+        self.config.system == SystemKind::Clm && self.config.overlapped_adam
+    }
+
+    /// Plans one batch: frustum culling, micro-batch ordering, finalisation
+    /// analysis and data-movement accounting.  Pure with respect to the
+    /// model parameters; the plan for batch `k` depends on the ordering seed
+    /// and [`batches_trained`](Self::batches_trained).
     ///
     /// # Panics
-    /// Panics if `cameras` and `targets` differ in length or are empty.
-    pub fn train_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> BatchReport {
-        assert_eq!(cameras.len(), targets.len(), "need one target image per camera");
+    /// Panics if `cameras` is empty.
+    pub fn plan_batch(&self, cameras: &[Camera]) -> BatchPlan {
         assert!(!cameras.is_empty(), "batch must contain at least one view");
 
         // 1. Frustum culling for every view.  For CLM this runs against the
@@ -134,7 +196,7 @@ impl Trainer {
             .collect();
 
         // 2. Order the micro-batches.
-        let order = match self.config.system {
+        let order: Vec<usize> = match self.config.system {
             SystemKind::Clm => order_batch(
                 self.config.ordering,
                 cameras,
@@ -144,9 +206,33 @@ impl Trainer {
             _ => (0..cameras.len()).collect(),
         };
         let ordered_sets: Vec<VisibilitySet> = order.iter().map(|&i| sets[i].clone()).collect();
+        let m = ordered_sets.len();
 
-        // 3. Data-movement accounting for this batch.
-        let (bytes_loaded, bytes_stored) = self.account_batch_traffic(&ordered_sets);
+        // 3. Per-micro-batch fetch/store sets (CLM only; the other systems
+        //    either keep everything resident or move the whole model, which
+        //    the traffic accounting below handles wholesale).
+        let empty = VisibilitySet::new();
+        let (fetched, stored) = if self.config.system == SystemKind::Clm {
+            if self.config.gaussian_caching {
+                // The cache planner owns the transition algebra: plan `i`
+                // fetches micro-batch `i`'s missing rows, and plan `i + 1`
+                // (including the final flush) stores the gradients that
+                // retire once micro-batch `i` has run.
+                let plans = crate::cache::plan_batch(&ordered_sets);
+                let fetched = plans[..m].iter().map(|p| p.fetched.clone()).collect();
+                let stored = plans[1..]
+                    .iter()
+                    .map(|p| p.grads_to_store.clone())
+                    .collect();
+                (fetched, stored)
+            } else {
+                // Without caching every micro-batch reloads its whole
+                // working set and retires all of its gradients.
+                (ordered_sets.clone(), ordered_sets.clone())
+            }
+        } else {
+            (vec![empty.clone(); m], vec![empty.clone(); m])
+        };
 
         // 4. Finalisation plan for overlapped CPU Adam (CLM only).
         let finalization = FinalizationPlan::new(&ordered_sets);
@@ -157,87 +243,196 @@ impl Trainer {
         let all: VisibilitySet = (0..self.model.len() as u32).collect();
         let untouched = all.difference(&touched_union);
 
-        // 5. Process micro-batches, accumulating gradients.
-        let mut grads = GradientBuffer::for_model(&self.model);
-        let mut total_loss = 0.0f32;
-        let overlapped = self.config.system == SystemKind::Clm && self.config.overlapped_adam;
+        // 5. Data-movement accounting for this batch.  For CLM the totals
+        //    are just the per-micro-batch fetch/store sets summed; the
+        //    other strategies move nothing or the whole model.
+        let (bytes_loaded, bytes_stored) = match self.config.system {
+            SystemKind::Baseline | SystemKind::EnhancedBaseline => (0, 0),
+            SystemKind::NaiveOffload => {
+                let all = self.model.len() as u64 * PARAMS_PER_GAUSSIAN as u64 * 4;
+                (all, all)
+            }
+            SystemKind::Clm => (
+                fetched
+                    .iter()
+                    .map(|s| (s.len() * NON_CRITICAL_BYTES) as u64)
+                    .sum(),
+                stored
+                    .iter()
+                    .map(|s| (s.len() * GRADIENT_BYTES) as u64)
+                    .sum(),
+            ),
+        };
 
-        if overlapped {
-            // Gaussians untouched by the whole batch (F_0) can be updated
-            // immediately — their gradient is already final (zero).
+        BatchPlan {
+            order,
+            ordered_sets,
+            finalization,
+            fetched,
+            stored,
+            untouched,
+            touched_union,
+            bytes_loaded,
+            bytes_stored,
+        }
+    }
+
+    /// Opens a batch.  Under overlapped CPU Adam the Gaussians untouched by
+    /// the whole batch (`F_0`) are updated immediately — their gradient is
+    /// already final (zero).
+    pub fn begin_batch(&mut self, plan: &BatchPlan, grads: &GradientBuffer) {
+        if self.overlapped() {
             self.optimizer
-                .step_subset(&mut self.model, &grads, untouched.indices());
+                .step_subset(&mut self.model, grads, plan.untouched.indices());
         }
+    }
 
-        for (micro_idx, &view_idx) in order.iter().enumerate() {
-            let camera = &cameras[view_idx];
-            let target = &targets[view_idx];
-            let visible = match self.config.system {
-                // The plain baseline feeds every Gaussian through the
-                // kernels (fused culling); the others pre-cull.
-                SystemKind::Baseline => None,
-                _ => Some(sets[view_idx].indices().to_vec()),
-            };
-            if self.config.system == SystemKind::Clm {
-                // Exercise the selective-loading path: gather exactly what
-                // the cache plan says must come from host memory and check
-                // it matches the model the renderer sees.
-                let prev = if micro_idx == 0 {
-                    VisibilitySet::new()
-                } else if self.config.gaussian_caching {
-                    ordered_sets[micro_idx - 1].clone()
-                } else {
-                    VisibilitySet::new()
-                };
-                let fetched = ordered_sets[micro_idx].difference(&prev);
-                let _rows = self.offloaded_rows_for(&fetched);
-            }
-            let out = render(
-                &self.model,
-                camera,
-                &RenderOptions {
-                    background: self.config.background,
-                    visible,
-                },
+    /// The selective-loading kernel for micro-batch `micro_idx`: gathers the
+    /// rows `plan.fetched[micro_idx]` from pinned host memory into
+    /// `staging` (reusing its allocation), counting the transferred bytes.
+    ///
+    /// A pipelined runtime may run this ahead of the micro-batch's compute:
+    /// within a batch no Adam update can touch a Gaussian before its last
+    /// access, so prefetched rows never go stale
+    /// ([`process_microbatch`](Self::process_microbatch) asserts this).
+    pub fn stage_microbatch(
+        &mut self,
+        plan: &BatchPlan,
+        micro_idx: usize,
+        staging: &mut Vec<[f32; NON_CRITICAL_FLOATS]>,
+    ) {
+        if self.config.system == SystemKind::Clm {
+            self.offloaded
+                .gather_non_critical_into(plan.fetched[micro_idx].indices(), staging);
+        } else {
+            staging.clear();
+        }
+    }
+
+    /// Executes micro-batch `micro_idx`: renders its view, accumulates the
+    /// loss gradient into `grads`, and returns the view's L1 loss.
+    ///
+    /// # Panics
+    /// Panics if a staged host row disagrees with the model the renderer
+    /// sees — that would mean a prefetch raced with an optimiser update,
+    /// which the finalisation schedule is supposed to make impossible.
+    pub fn process_microbatch(
+        &mut self,
+        plan: &BatchPlan,
+        micro_idx: usize,
+        cameras: &[Camera],
+        targets: &[Image],
+        staging: &[[f32; NON_CRITICAL_FLOATS]],
+        grads: &mut GradientBuffer,
+    ) -> f32 {
+        let view_idx = plan.order[micro_idx];
+        let camera = &cameras[view_idx];
+        let target = &targets[view_idx];
+        let visible = match self.config.system {
+            // The plain baseline feeds every Gaussian through the
+            // kernels (fused culling); the others pre-cull.
+            SystemKind::Baseline => None,
+            _ => Some(plan.ordered_sets[micro_idx].indices().to_vec()),
+        };
+        if self.config.system == SystemKind::Clm {
+            // The staged host rows must match the parameters the renderer
+            // reads: a Gaussian is only updated after its last access, so
+            // even rows prefetched several micro-batches ago stay current.
+            assert_eq!(
+                staging.len(),
+                plan.fetched[micro_idx].len(),
+                "staging buffer does not match the fetch plan"
             );
-            let loss = l1_loss(&out.image, target);
-            total_loss += loss.value;
-            let render_grads = render_backward(&self.model, camera, &out.aux, &loss.d_image);
-            grads.accumulate_render(&render_grads);
-
-            if overlapped {
-                // Apply the optimiser to every Gaussian finalised by this
-                // micro-batch while "the GPU works on the next one".
-                let group = finalization.finalized_by(micro_idx);
-                self.optimizer
-                    .step_subset(&mut self.model, &grads, group.indices());
+            for (&idx, row) in plan.fetched[micro_idx].indices().iter().zip(staging) {
+                assert!(
+                    *row == self.model.non_critical_row(idx as usize),
+                    "staged row for gaussian {idx} went stale before its micro-batch ran"
+                );
             }
         }
+        let out = render(
+            &self.model,
+            camera,
+            &RenderOptions {
+                background: self.config.background,
+                visible,
+            },
+        );
+        let loss = l1_loss(&out.image, target);
+        let render_grads = render_backward(&self.model, camera, &out.aux, &loss.d_image);
+        grads.accumulate_render(&render_grads);
+        loss.value
+    }
 
-        // 6. Batch-end optimiser step for strategies without overlap.
-        if !overlapped {
-            match self.config.system {
-                SystemKind::Clm | SystemKind::NaiveOffload => {
-                    // CPU Adam over everything (dense semantics).
-                    self.optimizer.step_dense(&mut self.model, &grads);
-                }
-                SystemKind::Baseline | SystemKind::EnhancedBaseline => {
-                    self.optimizer.step_dense(&mut self.model, &grads);
-                }
-            }
+    /// Applies the optimiser to every Gaussian finalised by micro-batch
+    /// `micro_idx` (overlapped CPU Adam only; no-op otherwise).
+    pub fn apply_finalized(&mut self, plan: &BatchPlan, micro_idx: usize, grads: &GradientBuffer) {
+        if self.overlapped() {
+            let group = plan.finalization.finalized_by(micro_idx);
+            self.optimizer
+                .step_subset(&mut self.model, grads, group.indices());
+        }
+    }
+
+    /// Closes a batch: runs the batch-end optimiser step for strategies
+    /// without overlap, re-synchronises the offloaded store and returns the
+    /// batch report.
+    pub fn finish_batch(
+        &mut self,
+        plan: &BatchPlan,
+        grads: &GradientBuffer,
+        total_loss: f32,
+    ) -> BatchReport {
+        if !self.overlapped() {
+            // CPU Adam (offloading systems) and GPU Adam (the baselines)
+            // have identical dense semantics.
+            self.optimizer.step_dense(&mut self.model, grads);
         }
 
-        // 7. Keep the offloaded store coherent with the updated model.
+        // Keep the offloaded store coherent with the updated model.
         self.offloaded.sync_from_model(&self.model);
         self.batches_trained += 1;
 
         BatchReport {
-            loss: total_loss / cameras.len() as f32,
-            touched: touched_union.len(),
-            bytes_loaded,
-            bytes_stored,
-            order,
+            loss: total_loss / plan.num_microbatches() as f32,
+            touched: plan.touched_union.len(),
+            bytes_loaded: plan.bytes_loaded,
+            bytes_stored: plan.bytes_stored,
+            order: plan.order.clone(),
         }
+    }
+
+    /// Trains one batch of posed images.
+    ///
+    /// This is the synchronous reference path: plan, then stage → process →
+    /// finalise each micro-batch back-to-back.  The pipelined runtime in
+    /// `clm-runtime` drives exactly the same calls interleaved with
+    /// discrete-event scheduling, which is why the two are numerically
+    /// identical.
+    ///
+    /// # Panics
+    /// Panics if `cameras` and `targets` differ in length or are empty.
+    pub fn train_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> BatchReport {
+        assert_eq!(
+            cameras.len(),
+            targets.len(),
+            "need one target image per camera"
+        );
+        assert!(!cameras.is_empty(), "batch must contain at least one view");
+
+        let plan = self.plan_batch(cameras);
+        let mut grads = GradientBuffer::for_model(&self.model);
+        let mut staging = Vec::new();
+        let mut total_loss = 0.0f32;
+
+        self.begin_batch(&plan, &grads);
+        for micro_idx in 0..plan.num_microbatches() {
+            self.stage_microbatch(&plan, micro_idx, &mut staging);
+            total_loss +=
+                self.process_microbatch(&plan, micro_idx, cameras, targets, &staging, &mut grads);
+            self.apply_finalized(&plan, micro_idx, &grads);
+        }
+        self.finish_batch(&plan, &grads, total_loss)
     }
 
     /// Trains over the whole dataset once (views grouped into batches in
@@ -272,41 +467,6 @@ impl Trainer {
         }
         total / cameras.len() as f32
     }
-
-    fn offloaded_rows_for(&mut self, fetched: &VisibilitySet) -> Vec<[f32; 49]> {
-        self.offloaded.gather_non_critical(fetched.indices())
-    }
-
-    /// Computes the batch's communication volume according to the strategy
-    /// (Figure 14 accounting).
-    fn account_batch_traffic(&self, ordered_sets: &[VisibilitySet]) -> (u64, u64) {
-        let n = self.model.len() as u64;
-        match self.config.system {
-            SystemKind::Baseline | SystemKind::EnhancedBaseline => (0, 0),
-            SystemKind::NaiveOffload => {
-                let all = n * PARAMS_PER_GAUSSIAN as u64 * 4;
-                (all, all)
-            }
-            SystemKind::Clm => {
-                if self.config.gaussian_caching {
-                    (
-                        crate::cache::batch_fetch_bytes(ordered_sets),
-                        crate::cache::batch_store_bytes(ordered_sets),
-                    )
-                } else {
-                    let loaded: u64 = ordered_sets
-                        .iter()
-                        .map(|s| (s.len() * NON_CRITICAL_BYTES) as u64)
-                        .sum();
-                    let stored: u64 = ordered_sets
-                        .iter()
-                        .map(|s| (s.len() * GRADIENT_BYTES) as u64)
-                        .sum();
-                    (loaded, stored)
-                }
-            }
-        }
-    }
 }
 
 /// Renders the ground-truth image of every view in a dataset (the stand-in
@@ -332,7 +492,9 @@ pub fn ground_truth_images(dataset: &Dataset) -> Vec<Image> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gs_scene::{generate_dataset, init_from_point_cloud, DatasetConfig, InitConfig, SceneKind, SceneSpec};
+    use gs_scene::{
+        generate_dataset, init_from_point_cloud, DatasetConfig, InitConfig, SceneKind, SceneSpec,
+    };
 
     fn tiny_setup() -> (Dataset, Vec<Image>, GaussianModel) {
         let dataset = generate_dataset(&SceneSpec::of(SceneKind::Bicycle), &DatasetConfig::tiny());
@@ -399,8 +561,20 @@ mod tests {
             ordering: OrderingStrategy::Camera,
             ..Default::default()
         };
-        let mut overlapped = Trainer::new(init.clone(), TrainConfig { overlapped_adam: true, ..base.clone() });
-        let mut batch_end = Trainer::new(init, TrainConfig { overlapped_adam: false, ..base });
+        let mut overlapped = Trainer::new(
+            init.clone(),
+            TrainConfig {
+                overlapped_adam: true,
+                ..base.clone()
+            },
+        );
+        let mut batch_end = Trainer::new(
+            init,
+            TrainConfig {
+                overlapped_adam: false,
+                ..base
+            },
+        );
         overlapped.train_batch(cams, tgts);
         batch_end.train_batch(cams, tgts);
         assert_eq!(overlapped.model(), batch_end.model());
@@ -416,8 +590,20 @@ mod tests {
             ordering: OrderingStrategy::Tsp,
             ..Default::default()
         };
-        let mut with_cache = Trainer::new(init.clone(), TrainConfig { gaussian_caching: true, ..base.clone() });
-        let mut without_cache = Trainer::new(init, TrainConfig { gaussian_caching: false, ..base });
+        let mut with_cache = Trainer::new(
+            init.clone(),
+            TrainConfig {
+                gaussian_caching: true,
+                ..base.clone()
+            },
+        );
+        let mut without_cache = Trainer::new(
+            init,
+            TrainConfig {
+                gaussian_caching: false,
+                ..base
+            },
+        );
         let r_cache = with_cache.train_batch(cams, tgts);
         let r_plain = without_cache.train_batch(cams, tgts);
         assert_eq!(with_cache.model(), without_cache.model());
@@ -442,7 +628,12 @@ mod tests {
         // Both strategies follow the same training trajectory.  CLM's TSP
         // ordering changes the floating-point accumulation order, so allow
         // tiny round-off differences.
-        for (a, b) in clm.model().positions().iter().zip(naive.model().positions()) {
+        for (a, b) in clm
+            .model()
+            .positions()
+            .iter()
+            .zip(naive.model().positions())
+        {
             assert!((*a - *b).length() < 1e-3, "{a:?} vs {b:?}");
         }
         for (a, b) in clm
@@ -470,8 +661,7 @@ mod tests {
         let mut last_loss = 0.0;
         for _ in 0..6 {
             let reports = trainer.train_epoch(&dataset, &targets);
-            let mean: f32 =
-                reports.iter().map(|r| r.loss).sum::<f32>() / reports.len() as f32;
+            let mean: f32 = reports.iter().map(|r| r.loss).sum::<f32>() / reports.len() as f32;
             first_loss.get_or_insert(mean);
             last_loss = mean;
         }

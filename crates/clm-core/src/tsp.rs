@@ -173,10 +173,26 @@ fn two_opt_sweep(matrix: &DistanceMatrix, tour: &mut [usize]) -> bool {
     for i in 0..n - 1 {
         for j in (i + 1)..n {
             // Edges removed: (i-1, i) and (j, j+1); edges added: (i-1, j) and (i, j+1).
-            let before_left = if i == 0 { 0 } else { matrix.dist(tour[i - 1], tour[i]) };
-            let after_left = if i == 0 { 0 } else { matrix.dist(tour[i - 1], tour[j]) };
-            let before_right = if j + 1 == n { 0 } else { matrix.dist(tour[j], tour[j + 1]) };
-            let after_right = if j + 1 == n { 0 } else { matrix.dist(tour[i], tour[j + 1]) };
+            let before_left = if i == 0 {
+                0
+            } else {
+                matrix.dist(tour[i - 1], tour[i])
+            };
+            let after_left = if i == 0 {
+                0
+            } else {
+                matrix.dist(tour[i - 1], tour[j])
+            };
+            let before_right = if j + 1 == n {
+                0
+            } else {
+                matrix.dist(tour[j], tour[j + 1])
+            };
+            let after_right = if j + 1 == n {
+                0
+            } else {
+                matrix.dist(tour[i], tour[j + 1])
+            };
             if after_left + after_right < before_left + before_right {
                 tour[i..=j].reverse();
                 improved = true;
@@ -304,7 +320,11 @@ mod tests {
         assert!(sol.length <= sol.initial_length);
         let mut sorted = sol.tour.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "tour must be a permutation");
+        assert_eq!(
+            sorted,
+            (0..8).collect::<Vec<_>>(),
+            "tour must be a permutation"
+        );
     }
 
     #[test]
@@ -313,7 +333,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = 7;
             // Random points on a line => metric instance.
-            let coords: Vec<i64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..100)).collect();
+            let coords: Vec<i64> = (0..n)
+                .map(|_| rand::Rng::gen_range(&mut rng, 0..100))
+                .collect();
             let mut data = vec![0u64; n * n];
             for i in 0..n {
                 for j in 0..n {
@@ -322,7 +344,13 @@ mod tests {
             }
             let matrix = DistanceMatrix::from_raw(n, data);
             let exact = solve_exact(&matrix);
-            let heuristic = solve(&matrix, &TspConfig { seed, ..Default::default() });
+            let heuristic = solve(
+                &matrix,
+                &TspConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             assert_eq!(
                 heuristic.length, exact.length,
                 "seed {seed}: heuristic {} vs exact {}",

@@ -1,0 +1,485 @@
+//! The pipelined execution engine.
+//!
+//! [`PipelinedEngine`] runs a [`clm_core::Trainer`] as a discrete-event
+//! pipeline on [`sim_device::Timeline`], reproducing the execution structure
+//! of the paper's Figure 6: parameter gathers are prefetched on the
+//! `GpuComm` lane up to a configurable lookahead window ahead of the
+//! micro-batch that consumes them, forward/backward compute runs on
+//! `GpuCompute`, gradient stores retire on `GpuComm`, and early-finalised
+//! CPU Adam updates run on the `CpuAdam` lane as soon as their gradients
+//! reach host memory.  Staged rows live in a recycling
+//! [`PinnedBufferPool`](crate::PinnedBufferPool).
+//!
+//! The engine's numeric path is exactly the synchronous trainer's: it calls
+//! the same `plan_batch → begin_batch → stage/process/apply_finalized →
+//! finish_batch` sequence, so the training trajectory is identical by
+//! construction — only the *when* of each operation (and therefore the
+//! makespan, overlap and idle metrics) differs.  The non-offloading systems
+//! (`Baseline`, `EnhancedBaseline`) and `NaiveOffload` are also supported,
+//! producing the no-overlap schedules the figures compare against.
+
+use crate::pool::PinnedBufferPool;
+use crate::prefetch::PrefetchWindow;
+use crate::report::IterationReport;
+use clm_core::{BatchPlan, SystemKind, TrainConfig, Trainer};
+use gs_core::camera::Camera;
+use gs_core::gaussian::GaussianModel;
+use gs_core::PARAMS_PER_GAUSSIAN;
+use gs_optim::GradientBuffer;
+use gs_render::Image;
+use gs_scene::Dataset;
+use sim_device::{DeviceProfile, Lane, OpId, OpKind, Timeline};
+
+/// Scheduling-lane cost per Gaussian-view of frustum culling (seconds).
+const CULL_COST_PER_GAUSSIAN_VIEW: f64 = 2.0e-10;
+
+/// Scheduling-lane cost per micro-batch pair of ordering/TSP work (seconds).
+const ORDER_COST_PER_PAIR: f64 = 1.0e-6;
+
+/// Configuration of the pipelined runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// The simulated device the schedule is costed against.
+    pub device: DeviceProfile,
+    /// Prefetch lookahead window: how many micro-batches ahead of the one
+    /// currently computing may be gathered (0 = synchronous, 1 = double
+    /// buffering).
+    pub prefetch_window: usize,
+    /// Multiplier applied to Gaussian counts and transferred bytes when
+    /// costing timeline operations.  Numerics are unaffected; this lets
+    /// reduced-scale scenes exercise the paper-scale (bandwidth-bound)
+    /// regime the figures are about.
+    pub cost_scale: f64,
+    /// Multiplier applied to pixel counts when costing render operations.
+    pub pixel_cost_scale: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            device: DeviceProfile::rtx4090(),
+            prefetch_window: 2,
+            cost_scale: 1.0,
+            pixel_cost_scale: 1.0,
+        }
+    }
+}
+
+/// A trainer executing as a discrete-event pipeline on the simulated device.
+#[derive(Debug)]
+pub struct PipelinedEngine {
+    trainer: Trainer,
+    config: RuntimeConfig,
+    pool: PinnedBufferPool,
+}
+
+impl PipelinedEngine {
+    /// Creates an engine around an initial model.
+    ///
+    /// # Panics
+    /// Panics if `cost_scale` or `pixel_cost_scale` is not strictly
+    /// positive.
+    pub fn new(initial_model: GaussianModel, train: TrainConfig, config: RuntimeConfig) -> Self {
+        assert!(config.cost_scale > 0.0, "cost_scale must be positive");
+        assert!(
+            config.pixel_cost_scale > 0.0,
+            "pixel_cost_scale must be positive"
+        );
+        PipelinedEngine {
+            trainer: Trainer::new(initial_model, train),
+            config,
+            pool: PinnedBufferPool::new(),
+        }
+    }
+
+    /// The wrapped trainer (model, config, counters).
+    pub fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Pinned staging-pool statistics accumulated so far.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Mean PSNR of the current model over a set of posed images (delegates
+    /// to the trainer).
+    pub fn evaluate_psnr(&self, cameras: &[Camera], targets: &[Image]) -> f32 {
+        self.trainer.evaluate_psnr(cameras, targets)
+    }
+
+    fn scaled_bytes(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.config.cost_scale).round() as u64
+    }
+
+    fn scaled_gaussians(&self, count: usize) -> u64 {
+        (count as f64 * self.config.cost_scale).round() as u64
+    }
+
+    fn scaled_pixels(&self, image: &Image) -> u64 {
+        (image.pixel_count() as f64 * self.config.pixel_cost_scale).round() as u64
+    }
+
+    fn scheduling_time(&self, plan: &BatchPlan) -> f64 {
+        let n = self.scaled_gaussians(self.trainer.model().len()) as f64;
+        let m = plan.num_microbatches() as f64;
+        n * m * CULL_COST_PER_GAUSSIAN_VIEW + m * m * ORDER_COST_PER_PAIR
+    }
+
+    /// Executes one training batch as a pipelined schedule, returning the
+    /// numeric batch report together with the executed timeline.
+    ///
+    /// # Panics
+    /// Panics if `cameras` and `targets` differ in length or are empty.
+    pub fn run_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> IterationReport {
+        assert_eq!(
+            cameras.len(),
+            targets.len(),
+            "need one target image per camera"
+        );
+        assert!(!cameras.is_empty(), "batch must contain at least one view");
+
+        let plan = self.trainer.plan_batch(cameras);
+        let mut grads = GradientBuffer::for_model(self.trainer.model());
+        let mut timeline = Timeline::new();
+
+        let sched = timeline.push(
+            OpKind::Scheduling,
+            Lane::CpuScheduler,
+            self.scheduling_time(&plan),
+            &[],
+        );
+
+        let total_loss = match self.trainer.config().system {
+            SystemKind::Clm => {
+                self.run_clm_batch(&plan, cameras, targets, &mut grads, &mut timeline, sched)
+            }
+            SystemKind::NaiveOffload => {
+                self.run_naive_batch(&plan, cameras, targets, &mut grads, &mut timeline, sched)
+            }
+            SystemKind::Baseline | SystemKind::EnhancedBaseline => {
+                self.run_gpu_only_batch(&plan, cameras, targets, &mut grads, &mut timeline, sched)
+            }
+        };
+
+        let batch = self.trainer.finish_batch(&plan, &grads, total_loss);
+        IterationReport {
+            batch,
+            timeline,
+            views: cameras.len(),
+        }
+    }
+
+    /// Trains over the whole dataset once (views grouped into batches in
+    /// trajectory order), returning the per-iteration reports.
+    pub fn run_epoch(&mut self, dataset: &Dataset, targets: &[Image]) -> Vec<IterationReport> {
+        assert_eq!(dataset.cameras.len(), targets.len());
+        let batch = self.trainer.config().batch_size.max(1);
+        let mut reports = Vec::new();
+        let mut start = 0;
+        while start < dataset.cameras.len() {
+            let end = (start + batch).min(dataset.cameras.len());
+            reports.push(self.run_batch(&dataset.cameras[start..end], &targets[start..end]));
+            start = end;
+        }
+        reports
+    }
+
+    /// The CLM pipeline: windowed gather prefetch on `GpuComm`, compute on
+    /// `GpuCompute`, per-transition gradient stores, and early-finalised CPU
+    /// Adam on `CpuAdam`.
+    fn run_clm_batch(
+        &mut self,
+        plan: &BatchPlan,
+        cameras: &[Camera],
+        targets: &[Image],
+        grads: &mut GradientBuffer,
+        timeline: &mut Timeline,
+        sched: OpId,
+    ) -> f32 {
+        let m = plan.num_microbatches();
+        let window = PrefetchWindow::new(self.config.prefetch_window, m);
+        let overlapped = self.trainer.overlapped();
+
+        self.trainer.begin_batch(plan, grads);
+        if overlapped {
+            // F_0: Gaussians the batch never touches are finalised from the
+            // start; their CPU Adam update overlaps the whole pipeline.
+            timeline.push(
+                OpKind::CpuAdamUpdate,
+                Lane::CpuAdam,
+                self.config.device.cpu_adam_time(
+                    self.scaled_gaussians(plan.untouched.len()) * PARAMS_PER_GAUSSIAN as u64,
+                ),
+                &[sched],
+            );
+        }
+
+        let mut gather_ops: Vec<OpId> = Vec::with_capacity(m);
+        let mut backward_ops: Vec<OpId> = Vec::with_capacity(m);
+        let mut staging_slots: Vec<Option<crate::pool::StagingBuffer>> =
+            (0..m).map(|_| None).collect();
+
+        // Issue the initial prefetch frontier.
+        for i in window.issuable_after(None) {
+            self.issue_gather(
+                plan,
+                i,
+                &window,
+                &backward_ops,
+                timeline,
+                sched,
+                &mut gather_ops,
+            );
+            let mut buf = self.pool.acquire(plan.fetched[i].len());
+            self.trainer.stage_microbatch(plan, i, &mut buf);
+            staging_slots[i] = Some(buf);
+        }
+
+        let mut total_loss = 0.0f32;
+        let mut last_store = sched;
+        for i in 0..m {
+            let buf = staging_slots[i]
+                .take()
+                .expect("prefetch schedule must have staged this micro-batch");
+
+            let pixels = self.scaled_pixels(&targets[plan.order[i]]);
+            let gaussians = self.scaled_gaussians(plan.ordered_sets[i].len());
+            let fwd = timeline.push(
+                OpKind::Forward,
+                Lane::GpuCompute,
+                self.config.device.forward_time(gaussians, pixels),
+                &[gather_ops[i]],
+            );
+            let bwd = timeline.push(
+                OpKind::Backward,
+                Lane::GpuCompute,
+                self.config.device.backward_time(gaussians, pixels),
+                &[fwd],
+            );
+            backward_ops.push(bwd);
+
+            total_loss += self
+                .trainer
+                .process_microbatch(plan, i, cameras, targets, &buf, grads);
+            self.pool.release(buf);
+
+            // Retire this micro-batch's finalised gradients to host memory …
+            let store_bytes = self.scaled_bytes(plan.store_bytes(i));
+            let store = timeline.push_with_bytes(
+                OpKind::StoreGrads,
+                Lane::GpuComm,
+                self.config.device.transfer_time(store_bytes),
+                store_bytes,
+                &[bwd],
+            );
+            last_store = store;
+
+            // … and update them on the CPU Adam thread while later
+            // micro-batches keep the GPU busy.
+            self.trainer.apply_finalized(plan, i, grads);
+            if overlapped {
+                let group = plan.finalization.finalized_by(i);
+                timeline.push(
+                    OpKind::CpuAdamUpdate,
+                    Lane::CpuAdam,
+                    self.config.device.cpu_adam_time(
+                        self.scaled_gaussians(group.len()) * PARAMS_PER_GAUSSIAN as u64,
+                    ),
+                    &[store],
+                );
+            }
+
+            // This completion frees the next prefetch slot.
+            for j in window.issuable_after(Some(i)) {
+                self.issue_gather(
+                    plan,
+                    j,
+                    &window,
+                    &backward_ops,
+                    timeline,
+                    sched,
+                    &mut gather_ops,
+                );
+                let mut buf = self.pool.acquire(plan.fetched[j].len());
+                self.trainer.stage_microbatch(plan, j, &mut buf);
+                staging_slots[j] = Some(buf);
+            }
+        }
+
+        if !overlapped {
+            // Batch-end CPU Adam over the whole model (dense semantics).
+            let n = self.scaled_gaussians(self.trainer.model().len());
+            timeline.push(
+                OpKind::CpuAdamUpdate,
+                Lane::CpuAdam,
+                self.config
+                    .device
+                    .cpu_adam_time(n * PARAMS_PER_GAUSSIAN as u64),
+                &[last_store],
+            );
+        }
+        total_loss
+    }
+
+    /// Pushes the gather of micro-batch `i` on the communication lane,
+    /// honouring the prefetch window's compute dependency.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_gather(
+        &mut self,
+        plan: &BatchPlan,
+        i: usize,
+        window: &PrefetchWindow,
+        backward_ops: &[OpId],
+        timeline: &mut Timeline,
+        sched: OpId,
+        gather_ops: &mut Vec<OpId>,
+    ) {
+        debug_assert_eq!(gather_ops.len(), i, "gathers must be issued in order");
+        let mut deps = vec![sched];
+        if let Some(compute_of) = window.gather_depends_on_compute_of(i) {
+            deps.push(backward_ops[compute_of]);
+        }
+        let bytes = self.scaled_bytes(plan.fetch_bytes(i));
+        let id = timeline.push_with_bytes(
+            OpKind::LoadParams,
+            Lane::GpuComm,
+            self.config.device.transfer_time(bytes),
+            bytes,
+            &deps,
+        );
+        gather_ops.push(id);
+    }
+
+    /// Naive (ZeRO-Offload-style) schedule: whole-model upload, serial
+    /// compute, whole-gradient store, then one dense CPU Adam pass — no
+    /// overlap anywhere.
+    fn run_naive_batch(
+        &mut self,
+        plan: &BatchPlan,
+        cameras: &[Camera],
+        targets: &[Image],
+        grads: &mut GradientBuffer,
+        timeline: &mut Timeline,
+        sched: OpId,
+    ) -> f32 {
+        let n = self.trainer.model().len();
+        let full_bytes =
+            self.scaled_bytes((n * PARAMS_PER_GAUSSIAN * gs_core::BYTES_PER_PARAM) as u64);
+        let upload = timeline.push_with_bytes(
+            OpKind::LoadParams,
+            Lane::GpuComm,
+            self.config.device.transfer_time(full_bytes),
+            full_bytes,
+            &[sched],
+        );
+
+        self.trainer.begin_batch(plan, grads);
+        let mut total_loss = 0.0f32;
+        let mut staging = Vec::new();
+        let mut last_bwd = upload;
+        for i in 0..plan.num_microbatches() {
+            let pixels = self.scaled_pixels(&targets[plan.order[i]]);
+            let gaussians = self.scaled_gaussians(plan.ordered_sets[i].len());
+            let fwd = timeline.push(
+                OpKind::Forward,
+                Lane::GpuCompute,
+                self.config.device.forward_time(gaussians, pixels),
+                &[upload],
+            );
+            let bwd = timeline.push(
+                OpKind::Backward,
+                Lane::GpuCompute,
+                self.config.device.backward_time(gaussians, pixels),
+                &[fwd],
+            );
+            last_bwd = bwd;
+            self.trainer.stage_microbatch(plan, i, &mut staging);
+            total_loss += self
+                .trainer
+                .process_microbatch(plan, i, cameras, targets, &staging, grads);
+            self.trainer.apply_finalized(plan, i, grads);
+        }
+
+        let store = timeline.push_with_bytes(
+            OpKind::StoreGrads,
+            Lane::GpuComm,
+            self.config.device.transfer_time(full_bytes),
+            full_bytes,
+            &[last_bwd],
+        );
+        timeline.push(
+            OpKind::CpuAdamUpdate,
+            Lane::CpuAdam,
+            self.config
+                .device
+                .cpu_adam_time(self.scaled_gaussians(n) * PARAMS_PER_GAUSSIAN as u64),
+            &[store],
+        );
+        total_loss
+    }
+
+    /// GPU-only baselines: compute per micro-batch plus a fused GPU Adam
+    /// step at batch end; no PCIe traffic at all.
+    fn run_gpu_only_batch(
+        &mut self,
+        plan: &BatchPlan,
+        cameras: &[Camera],
+        targets: &[Image],
+        grads: &mut GradientBuffer,
+        timeline: &mut Timeline,
+        sched: OpId,
+    ) -> f32 {
+        let n = self.trainer.model().len();
+        let fused_culling = self.trainer.config().system == SystemKind::Baseline;
+
+        self.trainer.begin_batch(plan, grads);
+        let mut total_loss = 0.0f32;
+        let mut staging = Vec::new();
+        let mut last_bwd = sched;
+        for i in 0..plan.num_microbatches() {
+            let pixels = self.scaled_pixels(&targets[plan.order[i]]);
+            // The plain baseline feeds every Gaussian through the kernels;
+            // the enhanced baseline pre-culls.
+            let count = if fused_culling {
+                n
+            } else {
+                plan.ordered_sets[i].len()
+            };
+            let gaussians = self.scaled_gaussians(count);
+            let fwd = timeline.push(
+                OpKind::Forward,
+                Lane::GpuCompute,
+                self.config.device.forward_time(gaussians, pixels),
+                &[sched],
+            );
+            let bwd = timeline.push(
+                OpKind::Backward,
+                Lane::GpuCompute,
+                self.config.device.backward_time(gaussians, pixels),
+                &[fwd],
+            );
+            last_bwd = bwd;
+            self.trainer.stage_microbatch(plan, i, &mut staging);
+            total_loss += self
+                .trainer
+                .process_microbatch(plan, i, cameras, targets, &staging, grads);
+            self.trainer.apply_finalized(plan, i, grads);
+        }
+
+        timeline.push(
+            OpKind::GpuAdamUpdate,
+            Lane::GpuCompute,
+            self.config
+                .device
+                .gpu_adam_time(self.scaled_gaussians(n) * PARAMS_PER_GAUSSIAN as u64),
+            &[last_bwd],
+        );
+        total_loss
+    }
+}

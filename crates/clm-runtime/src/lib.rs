@@ -1,0 +1,310 @@
+//! Pipelined execution engine for the CLM trainers.
+//!
+//! The seed reproduction kept two worlds apart: `clm_core::train` ran the
+//! functional trainers fully synchronously, while `sim_device::Timeline`
+//! modelled concurrent lanes nobody drove with real training.  This crate
+//! bridges them: [`PipelinedEngine`] executes the four trainers as
+//! discrete-event pipelines — prefetched parameter gathers on the `GpuComm`
+//! lane ([`PrefetchWindow`]), forward/backward on `GpuCompute`, per-
+//! transition gradient stores, and early-finalised CPU Adam on the
+//! `CpuAdam` lane driven by `clm_core::FinalizationPlan` — while producing
+//! exactly the synchronous trainer's numbers.
+//!
+//! * [`PinnedBufferPool`] — recycling pinned host staging buffers with
+//!   high-water accounting (one buffer per prefetch slot);
+//! * [`PrefetchWindow`] — the lookahead policy (0 = synchronous, 1 = double
+//!   buffering, ≥ batch size = unconstrained);
+//! * [`PipelinedEngine`] / [`RuntimeConfig`] — the engine itself;
+//! * [`IterationReport`] — per-iteration makespan, per-lane busy/idle time
+//!   and communication volume (Figures 11–15, Table 7).
+//!
+//! # Numerical equivalence
+//!
+//! The engine drives the trainer through the same
+//! `plan_batch → begin_batch → stage → process → apply_finalized →
+//! finish_batch` sequence the synchronous `Trainer::train_batch` uses, so
+//! the loss/PSNR trajectory is identical by construction — the paper's core
+//! claim that overlap changes *when* work runs, never *what* it computes.
+//! `Trainer::process_microbatch` additionally asserts that prefetched rows
+//! never go stale, validating the finalisation schedule's non-interference
+//! guarantee.
+//!
+//! # Example
+//!
+//! ```
+//! use clm_core::TrainConfig;
+//! use clm_runtime::{PipelinedEngine, RuntimeConfig};
+//! use gs_scene::{generate_dataset, init_from_point_cloud, DatasetConfig, InitConfig,
+//!                SceneKind, SceneSpec};
+//! use sim_device::Lane;
+//!
+//! let dataset = generate_dataset(&SceneSpec::of(SceneKind::Bicycle), &DatasetConfig::tiny());
+//! let targets = clm_core::ground_truth_images(&dataset);
+//! let init = init_from_point_cloud(
+//!     &dataset.ground_truth,
+//!     &InitConfig { num_gaussians: 100, ..Default::default() },
+//! );
+//! let mut engine = PipelinedEngine::new(init, TrainConfig::default(), RuntimeConfig::default());
+//! let report = engine.run_batch(&dataset.cameras[..4], &targets[..4]);
+//! assert!(report.makespan() > 0.0);
+//! assert!(report.lane(Lane::GpuCompute).busy > 0.0);
+//! ```
+
+pub mod engine;
+pub mod pool;
+pub mod prefetch;
+pub mod report;
+
+pub use engine::{PipelinedEngine, RuntimeConfig};
+pub use pool::{PinnedBufferPool, PoolStats, StagingBuffer};
+pub use prefetch::PrefetchWindow;
+pub use report::{IterationReport, LaneReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clm_core::{SystemKind, TrainConfig, Trainer};
+    use gs_core::gaussian::GaussianModel;
+    use gs_render::Image;
+    use gs_scene::{
+        generate_dataset, init_from_point_cloud, Dataset, DatasetConfig, InitConfig, SceneKind,
+        SceneSpec,
+    };
+    use sim_device::Lane;
+
+    fn tiny_setup() -> (Dataset, Vec<Image>, GaussianModel) {
+        let dataset = generate_dataset(&SceneSpec::of(SceneKind::Bicycle), &DatasetConfig::tiny());
+        let targets = clm_core::ground_truth_images(&dataset);
+        let init = init_from_point_cloud(
+            &dataset.ground_truth,
+            &InitConfig {
+                num_gaussians: 150,
+                ..Default::default()
+            },
+        );
+        (dataset, targets, init)
+    }
+
+    fn runtime_config(window: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            prefetch_window: window,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pipelined_clm_matches_synchronous_trainer_exactly() {
+        // The tentpole claim: pipelining changes the schedule, never the
+        // numerics.  Same model, same losses, same traffic, same order.
+        let (dataset, targets, init) = tiny_setup();
+        let train = TrainConfig::default();
+        let mut engine = PipelinedEngine::new(init.clone(), train.clone(), runtime_config(2));
+        let mut sync = Trainer::new(init, train);
+        for start in [0usize, 4] {
+            let cams = &dataset.cameras[start..start + 4];
+            let tgts = &targets[start..start + 4];
+            let piped = engine.run_batch(cams, tgts);
+            let reference = sync.train_batch(cams, tgts);
+            assert_eq!(piped.batch, reference);
+        }
+        assert_eq!(engine.trainer().model(), sync.model());
+    }
+
+    #[test]
+    fn prefetch_window_never_changes_numerics() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let mut reference: Option<(clm_core::BatchReport, GaussianModel)> = None;
+        for window in [0usize, 1, 3, 64] {
+            let mut engine =
+                PipelinedEngine::new(init.clone(), TrainConfig::default(), runtime_config(window));
+            let report = engine.run_batch(cams, tgts);
+            match &reference {
+                None => reference = Some((report.batch, engine.trainer().model().clone())),
+                Some((batch, model)) => {
+                    assert_eq!(&report.batch, batch, "window {window}");
+                    assert_eq!(engine.trainer().model(), model, "window {window}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_windows_reduce_gpu_compute_idle() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let idle_of = |window: usize| {
+            let mut engine =
+                PipelinedEngine::new(init.clone(), TrainConfig::default(), runtime_config(window));
+            engine.run_batch(cams, tgts).gpu_idle_fraction()
+        };
+        let synchronous = idle_of(0);
+        let double_buffered = idle_of(1);
+        let unconstrained = idle_of(64);
+        assert!(
+            double_buffered < synchronous,
+            "double buffering must hide gathers: {double_buffered} vs {synchronous}"
+        );
+        assert!(
+            unconstrained <= double_buffered + 1e-12,
+            "wider windows never hurt: {unconstrained} vs {double_buffered}"
+        );
+    }
+
+    #[test]
+    fn pipelined_makespan_beats_synchronous_schedule() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let makespan_of = |window: usize| {
+            let mut engine =
+                PipelinedEngine::new(init.clone(), TrainConfig::default(), runtime_config(window));
+            engine.run_batch(cams, tgts).makespan()
+        };
+        assert!(makespan_of(2) < makespan_of(0));
+    }
+
+    #[test]
+    fn staging_pool_recycles_and_respects_window_high_water() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        for window in [0usize, 1, 2] {
+            let mut engine =
+                PipelinedEngine::new(init.clone(), TrainConfig::default(), runtime_config(window));
+            engine.run_batch(cams, tgts);
+            engine.run_batch(cams, tgts);
+            let stats = engine.pool_stats();
+            assert_eq!(stats.outstanding, 0, "all buffers returned");
+            assert_eq!(stats.acquires, 12, "one gather per micro-batch");
+            assert_eq!(
+                stats.high_water_buffers,
+                window + 1,
+                "window {window} needs window+1 staging buffers"
+            );
+            // The second batch runs entirely from recycled buffers.
+            assert!(stats.recycled >= 6, "window {window}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn all_four_systems_execute_and_report() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..4];
+        let tgts = &targets[..4];
+        for system in SystemKind::ALL {
+            let mut engine = PipelinedEngine::new(
+                init.clone(),
+                TrainConfig {
+                    system,
+                    ..Default::default()
+                },
+                RuntimeConfig::default(),
+            );
+            let report = engine.run_batch(cams, tgts);
+            assert!(report.makespan() > 0.0, "{system}");
+            assert!(report.lane(Lane::GpuCompute).busy > 0.0, "{system}");
+            assert!(report.throughput() > 0.0, "{system}");
+            match system {
+                SystemKind::Baseline | SystemKind::EnhancedBaseline => {
+                    assert_eq!(report.comm_bytes_h2d(), 0, "{system}");
+                    assert_eq!(report.batch.bytes_loaded, 0, "{system}");
+                }
+                SystemKind::NaiveOffload | SystemKind::Clm => {
+                    assert!(report.comm_bytes_h2d() > 0, "{system}");
+                    assert!(report.lane(Lane::CpuAdam).busy > 0.0, "{system}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_systems_match_their_synchronous_counterparts() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..4];
+        let tgts = &targets[..4];
+        for system in SystemKind::ALL {
+            let train = TrainConfig {
+                system,
+                ..Default::default()
+            };
+            let mut engine =
+                PipelinedEngine::new(init.clone(), train.clone(), RuntimeConfig::default());
+            let mut sync = Trainer::new(init.clone(), train);
+            let piped = engine.run_batch(cams, tgts);
+            let reference = sync.train_batch(cams, tgts);
+            assert_eq!(piped.batch, reference, "{system}");
+            assert_eq!(engine.trainer().model(), sync.model(), "{system}");
+        }
+    }
+
+    #[test]
+    fn clm_timeline_traffic_matches_batch_accounting_at_unit_scale() {
+        let (dataset, targets, init) = tiny_setup();
+        let mut engine = PipelinedEngine::new(init, TrainConfig::default(), runtime_config(2));
+        let report = engine.run_batch(&dataset.cameras[..5], &targets[..5]);
+        assert_eq!(report.comm_bytes_h2d(), report.batch.bytes_loaded);
+        assert_eq!(report.comm_bytes_d2h(), report.batch.bytes_stored);
+    }
+
+    #[test]
+    fn cost_scale_changes_schedule_but_not_numerics() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..4];
+        let tgts = &targets[..4];
+        let run = |cost_scale: f64| {
+            let mut engine = PipelinedEngine::new(
+                init.clone(),
+                TrainConfig::default(),
+                RuntimeConfig {
+                    cost_scale,
+                    ..runtime_config(2)
+                },
+            );
+            let report = engine.run_batch(cams, tgts);
+            (
+                report.makespan(),
+                report.batch,
+                engine.trainer().model().clone(),
+            )
+        };
+        let (makespan_1x, batch_1x, model_1x) = run(1.0);
+        let (makespan_1000x, batch_1000x, model_1000x) = run(1000.0);
+        assert!(makespan_1000x > makespan_1x * 100.0);
+        assert_eq!(batch_1x, batch_1000x);
+        assert_eq!(model_1x, model_1000x);
+    }
+
+    #[test]
+    fn run_epoch_covers_every_view() {
+        let (dataset, targets, init) = tiny_setup();
+        let mut engine = PipelinedEngine::new(
+            init,
+            TrainConfig {
+                batch_size: 4,
+                ..Default::default()
+            },
+            RuntimeConfig::default(),
+        );
+        let reports = engine.run_epoch(&dataset, &targets);
+        let views: usize = reports.iter().map(|r| r.views).sum();
+        assert_eq!(views, dataset.cameras.len());
+        assert!(reports.iter().all(|r| r.makespan() > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cost_scale must be positive")]
+    fn invalid_cost_scale_panics() {
+        let (_, _, init) = tiny_setup();
+        let _ = PipelinedEngine::new(
+            init,
+            TrainConfig::default(),
+            RuntimeConfig {
+                cost_scale: 0.0,
+                ..Default::default()
+            },
+        );
+    }
+}

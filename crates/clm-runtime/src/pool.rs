@@ -1,0 +1,209 @@
+//! Pinned host staging-buffer pool.
+//!
+//! Every micro-batch gather lands in a pinned host buffer before the DMA
+//! engine ships it to the GPU (§5.2).  Allocating pinned memory is expensive
+//! and its footprint is what Table 6 reports, so a real runtime keeps a
+//! small pool of recycled buffers — one per prefetch slot — instead of
+//! allocating per micro-batch.  [`PinnedBufferPool`] reproduces that:
+//! buffers are acquired for one micro-batch's staged rows, released once its
+//! compute has consumed them, and reused for later gathers.  The pool tracks
+//! the accounting a capacity planner needs: how many buffers/bytes were ever
+//! live at once (the high-water mark) and how often an acquire was served by
+//! recycling rather than a fresh allocation.
+
+use gs_core::gaussian::NON_CRITICAL_FLOATS;
+
+/// Bytes of one staged row (the non-critical attributes of one Gaussian).
+pub const ROW_BYTES: usize = NON_CRITICAL_FLOATS * 4;
+
+/// A staging buffer of gathered non-critical rows.
+pub type StagingBuffer = Vec<[f32; NON_CRITICAL_FLOATS]>;
+
+/// Usage statistics of a [`PinnedBufferPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Buffers currently checked out.
+    pub outstanding: usize,
+    /// Most buffers ever checked out simultaneously.
+    pub high_water_buffers: usize,
+    /// Peak pinned bytes owned by the pool (checked-out + free capacity).
+    pub high_water_bytes: u64,
+    /// Total acquire calls.
+    pub acquires: u64,
+    /// Acquires served by recycling a previously released buffer.
+    pub recycled: u64,
+    /// Acquires that had to allocate a fresh buffer.
+    pub allocated: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served from the free list (0 when none yet).
+    pub fn recycle_rate(&self) -> f64 {
+        if self.acquires == 0 {
+            0.0
+        } else {
+            self.recycled as f64 / self.acquires as f64
+        }
+    }
+}
+
+/// A recycling pool of pinned host staging buffers with high-water
+/// accounting.
+#[derive(Debug, Default)]
+pub struct PinnedBufferPool {
+    free: Vec<StagingBuffer>,
+    outstanding: usize,
+    outstanding_bytes: u64,
+    free_bytes: u64,
+    stats: PoolStats,
+}
+
+impl PinnedBufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a buffer with capacity for at least `min_rows` rows,
+    /// recycling a released buffer when one is available.  The returned
+    /// buffer is empty (length 0).
+    pub fn acquire(&mut self, min_rows: usize) -> StagingBuffer {
+        self.stats.acquires += 1;
+        let mut buf = if let Some(mut buf) = self.free.pop() {
+            self.stats.recycled += 1;
+            self.free_bytes -= (buf.capacity() * ROW_BYTES) as u64;
+            buf.clear();
+            buf
+        } else {
+            self.stats.allocated += 1;
+            StagingBuffer::new()
+        };
+        if buf.capacity() < min_rows {
+            buf.reserve(min_rows - buf.len());
+        }
+        self.outstanding += 1;
+        self.outstanding_bytes += (buf.capacity() * ROW_BYTES) as u64;
+        self.stats.outstanding = self.outstanding;
+        self.stats.high_water_buffers = self.stats.high_water_buffers.max(self.outstanding);
+        self.stats.high_water_bytes = self
+            .stats
+            .high_water_bytes
+            .max(self.outstanding_bytes + self.free_bytes);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    ///
+    /// # Panics
+    /// Panics if more buffers are released than were acquired.
+    pub fn release(&mut self, buf: StagingBuffer) {
+        assert!(self.outstanding > 0, "release without matching acquire");
+        self.outstanding -= 1;
+        // The buffer may have grown while checked out; saturate rather than
+        // underflow if its capacity now exceeds what acquire() recorded.
+        self.outstanding_bytes = self
+            .outstanding_bytes
+            .saturating_sub((buf.capacity() * ROW_BYTES) as u64);
+        self.free_bytes += (buf.capacity() * ROW_BYTES) as u64;
+        self.free.push(buf);
+        self.stats.outstanding = self.outstanding;
+        // Capacity may have grown while checked out (a reserve inside the
+        // gather); the pool's owned footprint can therefore peak on release.
+        self.stats.high_water_bytes = self
+            .stats
+            .high_water_bytes
+            .max(self.outstanding_bytes + self.free_bytes);
+    }
+
+    /// Current usage statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Pinned bytes currently owned by the pool (checked-out + free).
+    pub fn owned_bytes(&self) -> u64 {
+        self.outstanding_bytes + self.free_bytes
+    }
+
+    /// Number of buffers currently available for recycling.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_recycles() {
+        let mut pool = PinnedBufferPool::new();
+        let mut a = pool.acquire(100);
+        assert!(a.capacity() >= 100);
+        a.push([0.5; NON_CRITICAL_FLOATS]);
+        pool.release(a);
+        // The next acquire reuses the buffer: no fresh allocation, contents
+        // cleared.
+        let b = pool.acquire(50);
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 100, "recycled buffer keeps its capacity");
+        let stats = pool.stats();
+        assert_eq!(stats.acquires, 2);
+        assert_eq!(stats.allocated, 1);
+        assert_eq!(stats.recycled, 1);
+        assert!((stats.recycle_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_water_tracks_concurrent_buffers() {
+        let mut pool = PinnedBufferPool::new();
+        let a = pool.acquire(10);
+        let b = pool.acquire(20);
+        let c = pool.acquire(30);
+        assert_eq!(pool.stats().outstanding, 3);
+        assert_eq!(pool.stats().high_water_buffers, 3);
+        pool.release(a);
+        pool.release(b);
+        let d = pool.acquire(5);
+        // Still only ever 3 live at once.
+        assert_eq!(pool.stats().high_water_buffers, 3);
+        assert_eq!(pool.stats().outstanding, 2);
+        pool.release(c);
+        pool.release(d);
+        assert_eq!(pool.stats().outstanding, 0);
+        assert_eq!(pool.free_buffers(), 3);
+    }
+
+    #[test]
+    fn high_water_bytes_covers_owned_capacity() {
+        let mut pool = PinnedBufferPool::new();
+        let a = pool.acquire(64);
+        let owned = pool.owned_bytes();
+        assert!(owned >= (64 * ROW_BYTES) as u64);
+        pool.release(a);
+        // Released buffers still count toward the pool's pinned footprint.
+        assert_eq!(pool.owned_bytes(), owned);
+        assert!(pool.stats().high_water_bytes >= owned);
+        // Re-acquiring does not grow the footprint.
+        let b = pool.acquire(32);
+        assert_eq!(pool.owned_bytes(), owned);
+        pool.release(b);
+        assert_eq!(pool.stats().high_water_bytes, owned);
+    }
+
+    #[test]
+    fn zero_row_acquire_is_fine() {
+        let mut pool = PinnedBufferPool::new();
+        let buf = pool.acquire(0);
+        assert!(buf.is_empty());
+        pool.release(buf);
+        assert_eq!(pool.stats().acquires, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without matching acquire")]
+    fn unmatched_release_panics() {
+        let mut pool = PinnedBufferPool::new();
+        pool.release(StagingBuffer::new());
+    }
+}

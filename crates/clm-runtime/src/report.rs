@@ -1,0 +1,121 @@
+//! Per-iteration execution reports of the pipelined runtime.
+//!
+//! Each [`IterationReport`] pairs the numeric outcome of one training batch
+//! (loss, traffic, order — identical to the synchronous trainer's
+//! [`BatchReport`]) with the discrete-event schedule it executed on: the
+//! makespan, per-lane busy/idle time and communication volume the paper's
+//! Figures 11–15 and Table 7 are derived from.
+
+use clm_core::BatchReport;
+use sim_device::{Lane, OpKind, Timeline};
+
+/// Busy/idle accounting of one lane over one iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneReport {
+    /// The lane.
+    pub lane: Lane,
+    /// Seconds the lane spent executing operations.
+    pub busy: f64,
+    /// Seconds the lane sat idle within the makespan.
+    pub idle: f64,
+    /// Busy fraction of the makespan (0–1).
+    pub utilization: f64,
+}
+
+/// What one pipelined training iteration (batch) did, numerically and on
+/// the event timeline.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// The numeric batch outcome (identical to the synchronous trainer's).
+    pub batch: BatchReport,
+    /// The executed schedule.
+    pub timeline: Timeline,
+    /// Number of views trained by the batch.
+    pub views: usize,
+}
+
+impl IterationReport {
+    /// Completion time of the iteration in simulated seconds.
+    pub fn makespan(&self) -> f64 {
+        self.timeline.makespan()
+    }
+
+    /// Training throughput in images per simulated second.
+    pub fn throughput(&self) -> f64 {
+        let makespan = self.makespan();
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.views as f64 / makespan
+        }
+    }
+
+    /// Busy/idle accounting of one lane.
+    pub fn lane(&self, lane: Lane) -> LaneReport {
+        LaneReport {
+            lane,
+            busy: self.timeline.busy_time(lane),
+            idle: self.timeline.idle_time(lane),
+            utilization: self.timeline.utilization(lane),
+        }
+    }
+
+    /// All four lanes in display order.
+    pub fn lanes(&self) -> Vec<LaneReport> {
+        Lane::ALL.iter().map(|&l| self.lane(l)).collect()
+    }
+
+    /// Fraction of the makespan the GPU compute lane sat idle — the paper's
+    /// headline overlap metric (Figure 15).
+    pub fn gpu_idle_fraction(&self) -> f64 {
+        self.timeline.idle_fraction(Lane::GpuCompute)
+    }
+
+    /// CPU→GPU bytes moved on the costed timeline.
+    pub fn comm_bytes_h2d(&self) -> u64 {
+        self.timeline.bytes_by_kind(OpKind::LoadParams)
+    }
+
+    /// GPU→CPU bytes moved on the costed timeline.
+    pub fn comm_bytes_d2h(&self) -> u64 {
+        self.timeline.bytes_by_kind(OpKind::StoreGrads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_report() -> IterationReport {
+        let mut t = Timeline::new();
+        let load = t.push_with_bytes(OpKind::LoadParams, Lane::GpuComm, 1.0, 100, &[]);
+        let fwd = t.push(OpKind::Forward, Lane::GpuCompute, 2.0, &[load]);
+        t.push_with_bytes(OpKind::StoreGrads, Lane::GpuComm, 1.0, 40, &[fwd]);
+        IterationReport {
+            batch: BatchReport {
+                loss: 0.5,
+                touched: 10,
+                bytes_loaded: 100,
+                bytes_stored: 40,
+                order: vec![0, 1],
+            },
+            timeline: t,
+            views: 2,
+        }
+    }
+
+    #[test]
+    fn throughput_and_lane_accounting() {
+        let r = demo_report();
+        assert_eq!(r.makespan(), 4.0);
+        assert!((r.throughput() - 0.5).abs() < 1e-12);
+        let compute = r.lane(Lane::GpuCompute);
+        assert_eq!(compute.busy, 2.0);
+        assert_eq!(compute.idle, 2.0);
+        assert!((compute.utilization - 0.5).abs() < 1e-12);
+        assert!((r.gpu_idle_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(r.comm_bytes_h2d(), 100);
+        assert_eq!(r.comm_bytes_d2h(), 40);
+        assert_eq!(r.lanes().len(), 4);
+    }
+}

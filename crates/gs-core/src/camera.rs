@@ -123,7 +123,10 @@ impl CameraExtrinsics {
         let down = forward.cross(right); // camera +Y points "down" in image space
         let rotation = Mat3::from_rows(right, down, forward);
         let translation = -(rotation * eye);
-        CameraExtrinsics { rotation, translation }
+        CameraExtrinsics {
+            rotation,
+            translation,
+        }
     }
 
     /// Transforms a world-space point into camera space.
@@ -158,7 +161,10 @@ impl Plane {
     pub fn new(normal: Vec3, d: f32) -> Self {
         let len = normal.length();
         if len > 0.0 {
-            Plane { normal: normal / len, d: d / len }
+            Plane {
+                normal: normal / len,
+                d: d / len,
+            }
         } else {
             Plane { normal: Vec3::Z, d }
         }
@@ -308,10 +314,10 @@ impl Camera {
         let cam_z = r.transpose() * Vec3::Z; // world-space viewing direction
         let center = self.center();
 
-        let half_fov_x = (self.intrinsics.fov_x() * 0.5 * margin)
-            .min(std::f32::consts::FRAC_PI_2 - 1e-3);
-        let half_fov_y = (self.intrinsics.fov_y() * 0.5 * margin)
-            .min(std::f32::consts::FRAC_PI_2 - 1e-3);
+        let half_fov_x =
+            (self.intrinsics.fov_x() * 0.5 * margin).min(std::f32::consts::FRAC_PI_2 - 1e-3);
+        let half_fov_y =
+            (self.intrinsics.fov_y() * 0.5 * margin).min(std::f32::consts::FRAC_PI_2 - 1e-3);
         let (sx, cx) = half_fov_x.sin_cos();
         let (sy, cy) = half_fov_y.sin_cos();
 
@@ -414,7 +420,12 @@ mod tests {
 
     #[test]
     fn frustum_contains_look_at_target() {
-        let cam = Camera::look_at(Vec3::new(0.0, 1.0, -6.0), Vec3::ZERO, Vec3::Y, test_intrinsics());
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 1.0, -6.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            test_intrinsics(),
+        );
         let frustum = cam.frustum();
         assert!(frustum.contains_point(Vec3::ZERO));
         // A point behind the camera is outside.
@@ -425,7 +436,12 @@ mod tests {
 
     #[test]
     fn frustum_sphere_test_is_conservative_near_edges() {
-        let cam = Camera::look_at(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO, Vec3::Y, test_intrinsics());
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            test_intrinsics(),
+        );
         let frustum = cam.frustum();
         // A point just outside the left edge with a generous radius should
         // still intersect.
@@ -436,8 +452,13 @@ mod tests {
 
     #[test]
     fn near_plane_culls_points_too_close() {
-        let cam = Camera::look_at(Vec3::new(0.0, 0.0, -5.0), Vec3::ZERO, Vec3::Y, test_intrinsics())
-            .with_clip(1.0, 100.0);
+        let cam = Camera::look_at(
+            Vec3::new(0.0, 0.0, -5.0),
+            Vec3::ZERO,
+            Vec3::Y,
+            test_intrinsics(),
+        )
+        .with_clip(1.0, 100.0);
         let frustum = cam.frustum();
         // 0.5 units in front of the camera but within the near distance.
         assert!(!frustum.contains_point(Vec3::new(0.0, 0.0, -4.7)));
@@ -446,8 +467,8 @@ mod tests {
 
     #[test]
     fn far_plane_culls_distant_points() {
-        let cam = Camera::look_at(Vec3::ZERO, Vec3::Z, Vec3::Y, test_intrinsics())
-            .with_clip(0.1, 50.0);
+        let cam =
+            Camera::look_at(Vec3::ZERO, Vec3::Z, Vec3::Y, test_intrinsics()).with_clip(0.1, 50.0);
         let frustum = cam.frustum();
         assert!(frustum.contains_point(Vec3::new(0.0, 0.0, 40.0)));
         assert!(!frustum.contains_point(Vec3::new(0.0, 0.0, 60.0)));
@@ -456,7 +477,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "0 < near < far")]
     fn invalid_clip_panics() {
-        let _ = Camera::look_at(Vec3::ZERO, Vec3::Z, Vec3::Y, test_intrinsics()).with_clip(5.0, 1.0);
+        let _ =
+            Camera::look_at(Vec3::ZERO, Vec3::Z, Vec3::Y, test_intrinsics()).with_clip(5.0, 1.0);
     }
 
     proptest! {

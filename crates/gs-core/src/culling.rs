@@ -123,8 +123,18 @@ mod tests {
     #[test]
     fn gaussian_in_front_is_visible_behind_is_not() {
         let mut model = GaussianModel::new();
-        model.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 10.0), 0.1, [0.5; 3], 0.9));
-        model.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, -10.0), 0.1, [0.5; 3], 0.9));
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 10.0),
+            0.1,
+            [0.5; 3],
+            0.9,
+        ));
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, -10.0),
+            0.1,
+            [0.5; 3],
+            0.9,
+        ));
         let set = cull_frustum(&model, &forward_camera());
         assert_eq!(set.indices(), &[0]);
     }
@@ -133,9 +143,19 @@ mod tests {
     fn large_gaussian_near_edge_is_kept() {
         let mut model = GaussianModel::new();
         // Centre outside the frustum, but its 3-sigma sphere crosses the edge.
-        model.push(Gaussian::isotropic(Vec3::new(7.0, 0.0, 10.0), 1.0, [0.5; 3], 0.9));
+        model.push(Gaussian::isotropic(
+            Vec3::new(7.0, 0.0, 10.0),
+            1.0,
+            [0.5; 3],
+            0.9,
+        ));
         // Small Gaussian at the same centre is culled.
-        model.push(Gaussian::isotropic(Vec3::new(7.0, 0.0, 10.0), 0.01, [0.5; 3], 0.9));
+        model.push(Gaussian::isotropic(
+            Vec3::new(7.0, 0.0, 10.0),
+            0.01,
+            [0.5; 3],
+            0.9,
+        ));
         let set = cull_frustum(&model, &forward_camera());
         assert!(set.contains(0));
         assert!(!set.contains(1));
@@ -144,7 +164,12 @@ mod tests {
     #[test]
     fn beyond_far_plane_is_culled() {
         let mut model = GaussianModel::new();
-        model.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 500.0), 0.1, [0.5; 3], 0.9));
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 500.0),
+            0.1,
+            [0.5; 3],
+            0.9,
+        ));
         assert!(cull_frustum(&model, &forward_camera()).is_empty());
     }
 
@@ -172,7 +197,10 @@ mod tests {
         };
         let dense = sparsity(&make_scene(5.0), &cam);
         let sparse = sparsity(&make_scene(500.0), &cam);
-        assert!(dense > 0.9, "dense scene should be almost fully visible, rho={dense}");
+        assert!(
+            dense > 0.9,
+            "dense scene should be almost fully visible, rho={dense}"
+        );
         assert!(sparse < 0.05, "huge scene should be sparse, rho={sparse}");
     }
 

@@ -35,7 +35,10 @@ impl fmt::Display for GsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GsError::IndexOutOfBounds { index, len } => {
-                write!(f, "gaussian index {index} out of bounds for model of length {len}")
+                write!(
+                    f,
+                    "gaussian index {index} out of bounds for model of length {len}"
+                )
             }
             GsError::LengthMismatch { expected, actual } => {
                 write!(f, "length mismatch: expected {expected}, got {actual}")
@@ -56,10 +59,19 @@ mod tests {
     #[test]
     fn display_messages() {
         let e = GsError::IndexOutOfBounds { index: 7, len: 3 };
-        assert_eq!(e.to_string(), "gaussian index 7 out of bounds for model of length 3");
-        let e = GsError::LengthMismatch { expected: 2, actual: 5 };
+        assert_eq!(
+            e.to_string(),
+            "gaussian index 7 out of bounds for model of length 3"
+        );
+        let e = GsError::LengthMismatch {
+            expected: 2,
+            actual: 5,
+        };
         assert!(e.to_string().contains("expected 2"));
-        let e = GsError::InvalidParameter { name: "sigma", message: "must be positive".into() };
+        let e = GsError::InvalidParameter {
+            name: "sigma",
+            message: "must be positive".into(),
+        };
         assert!(e.to_string().contains("sigma"));
     }
 

@@ -565,8 +565,18 @@ mod tests {
     fn bounding_box() {
         let mut model = GaussianModel::new();
         assert!(model.bounding_box().is_none());
-        model.push(Gaussian::isotropic(Vec3::new(-1.0, 2.0, 0.0), 0.1, [0.0; 3], 0.5));
-        model.push(Gaussian::isotropic(Vec3::new(3.0, -4.0, 5.0), 0.1, [0.0; 3], 0.5));
+        model.push(Gaussian::isotropic(
+            Vec3::new(-1.0, 2.0, 0.0),
+            0.1,
+            [0.0; 3],
+            0.5,
+        ));
+        model.push(Gaussian::isotropic(
+            Vec3::new(3.0, -4.0, 5.0),
+            0.1,
+            [0.0; 3],
+            0.5,
+        ));
         let (min, max) = model.bounding_box().unwrap();
         assert_eq!(min, Vec3::new(-1.0, -4.0, 0.0));
         assert_eq!(max, Vec3::new(3.0, 2.0, 5.0));

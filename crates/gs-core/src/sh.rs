@@ -16,7 +16,13 @@ pub const MAX_SH_DEGREE: usize = 3;
 // Real SH basis constants (same values as the reference CUDA implementation).
 const SH_C0: f32 = 0.282_094_79;
 const SH_C1: f32 = 0.488_602_51;
-const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_2,
+];
 const SH_C3: [f32; 7] = [
     -0.590_043_6,
     2.890_611_4,
@@ -34,7 +40,10 @@ const SH_C3: [f32; 7] = [
 /// # Panics
 /// Panics if `degree > 3`.
 pub fn sh_basis(degree: usize, dir: Vec3, basis: &mut [f32; NUM_SH_COEFFS]) {
-    assert!(degree <= MAX_SH_DEGREE, "SH degree {degree} not supported (max 3)");
+    assert!(
+        degree <= MAX_SH_DEGREE,
+        "SH degree {degree} not supported (max 3)"
+    );
     let d = dir.normalized();
     let (x, y, z) = (d.x, d.y, d.z);
     basis.fill(0.0);
@@ -179,7 +188,10 @@ mod tests {
         coeffs[2] = 0.8;
         let a = eval_sh_color(3, &coeffs, Vec3::Z);
         let b = eval_sh_color(3, &coeffs, -Vec3::Z);
-        assert!((a[0] - b[0]).abs() > 0.1, "expected view dependence, got {a:?} vs {b:?}");
+        assert!(
+            (a[0] - b[0]).abs() > 0.1,
+            "expected view dependence, got {a:?} vs {b:?}"
+        );
         // Green / blue channels unchanged.
         assert!((a[1] - b[1]).abs() < 1e-6);
         assert!((a[2] - b[2]).abs() < 1e-6);

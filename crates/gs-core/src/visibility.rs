@@ -171,7 +171,11 @@ struct MergeCounts {
 }
 
 fn merge_count(a: &[u32], b: &[u32]) -> MergeCounts {
-    let mut counts = MergeCounts { only_a: 0, only_b: 0, both: 0 };
+    let mut counts = MergeCounts {
+        only_a: 0,
+        only_b: 0,
+        both: 0,
+    };
     merge_visit(a, b, |_, in_a, in_b| match (in_a, in_b) {
         (true, true) => counts.both += 1,
         (true, false) => counts.only_a += 1,

@@ -156,7 +156,12 @@ impl GaussianAdam {
     /// # Panics
     /// Panics if an index is out of bounds or the gradient buffer does not
     /// match the model size.
-    pub fn step_subset(&mut self, model: &mut GaussianModel, grads: &GradientBuffer, indices: &[u32]) {
+    pub fn step_subset(
+        &mut self,
+        model: &mut GaussianModel,
+        grads: &GradientBuffer,
+        indices: &[u32],
+    ) {
         assert_eq!(model.len(), grads.len(), "gradient buffer size mismatch");
         self.resize(model.len());
         self.step_indices(model, grads, indices);
@@ -177,31 +182,71 @@ impl GaussianAdam {
 
             // Positions.
             let p = &mut model.positions_mut()[i];
-            adam_update_vec3(p, g.d_position, &mut row.m_position, &mut row.v_position,
-                             c.lr_position, &c, bias1, bias2);
+            adam_update_vec3(
+                p,
+                g.d_position,
+                &mut row.m_position,
+                &mut row.v_position,
+                c.lr_position,
+                &c,
+                bias1,
+                bias2,
+            );
             // Log-scales.
             let s = &mut model.log_scales_mut()[i];
-            adam_update_vec3(s, g.d_log_scale, &mut row.m_scale, &mut row.v_scale,
-                             c.lr_scale, &c, bias1, bias2);
+            adam_update_vec3(
+                s,
+                g.d_log_scale,
+                &mut row.m_scale,
+                &mut row.v_scale,
+                c.lr_scale,
+                &c,
+                bias1,
+                bias2,
+            );
             // Rotations.
             let q = &mut model.rotations_mut()[i];
             let mut q_arr = q.to_array();
             for k in 0..4 {
-                adam_update_scalar(&mut q_arr[k], g.d_rotation[k], &mut row.m_rotation[k],
-                                   &mut row.v_rotation[k], c.lr_rotation, &c, bias1, bias2);
+                adam_update_scalar(
+                    &mut q_arr[k],
+                    g.d_rotation[k],
+                    &mut row.m_rotation[k],
+                    &mut row.v_rotation[k],
+                    c.lr_rotation,
+                    &c,
+                    bias1,
+                    bias2,
+                );
             }
             *q = Quat::from(q_arr);
             // SH coefficients.
             let sh_offset = i * SH_FLOATS;
             for k in 0..SH_FLOATS {
                 let param = &mut model.sh_mut()[sh_offset + k];
-                adam_update_scalar(param, g.d_sh[k], &mut row.m_sh[k], &mut row.v_sh[k],
-                                   c.lr_sh, &c, bias1, bias2);
+                adam_update_scalar(
+                    param,
+                    g.d_sh[k],
+                    &mut row.m_sh[k],
+                    &mut row.v_sh[k],
+                    c.lr_sh,
+                    &c,
+                    bias1,
+                    bias2,
+                );
             }
             // Opacity.
             let o = &mut model.opacity_logits_mut()[i];
-            adam_update_scalar(o, g.d_opacity_logit, &mut row.m_opacity, &mut row.v_opacity,
-                               c.lr_opacity, &c, bias1, bias2);
+            adam_update_scalar(
+                o,
+                g.d_opacity_logit,
+                &mut row.m_opacity,
+                &mut row.v_opacity,
+                c.lr_opacity,
+                &c,
+                bias1,
+                bias2,
+            );
         }
     }
 
@@ -239,9 +284,36 @@ fn adam_update_vec3(
     bias1: f32,
     bias2: f32,
 ) {
-    adam_update_scalar(&mut param.x, grad.x, &mut m.x, &mut v.x, lr, c, bias1, bias2);
-    adam_update_scalar(&mut param.y, grad.y, &mut m.y, &mut v.y, lr, c, bias1, bias2);
-    adam_update_scalar(&mut param.z, grad.z, &mut m.z, &mut v.z, lr, c, bias1, bias2);
+    adam_update_scalar(
+        &mut param.x,
+        grad.x,
+        &mut m.x,
+        &mut v.x,
+        lr,
+        c,
+        bias1,
+        bias2,
+    );
+    adam_update_scalar(
+        &mut param.y,
+        grad.y,
+        &mut m.y,
+        &mut v.y,
+        lr,
+        c,
+        bias1,
+        bias2,
+    );
+    adam_update_scalar(
+        &mut param.z,
+        grad.z,
+        &mut m.z,
+        &mut v.z,
+        lr,
+        c,
+        bias1,
+        bias2,
+    );
 }
 
 #[cfg(test)]
@@ -321,7 +393,10 @@ mod tests {
         let grads = {
             let mut buf = GradientBuffer::new(4);
             for i in 0..4 {
-                buf.add(i, &grad_with_position(Vec3::new(0.3 * (i as f32 + 1.0), -0.1, 0.2)));
+                buf.add(
+                    i,
+                    &grad_with_position(Vec3::new(0.3 * (i as f32 + 1.0), -0.1, 0.2)),
+                );
             }
             buf
         };

@@ -57,7 +57,11 @@ impl GradientBuffer {
     /// Panics if `index` is out of bounds.
     pub fn add(&mut self, index: u32, grad: &GaussianGradients) {
         let i = index as usize;
-        assert!(i < self.len(), "gaussian index {i} out of bounds for buffer of length {}", self.len());
+        assert!(
+            i < self.len(),
+            "gaussian index {i} out of bounds for buffer of length {}",
+            self.len()
+        );
         self.d_positions[i] += grad.d_position;
         self.d_log_scales[i] += grad.d_log_scale;
         for k in 0..4 {
@@ -98,10 +102,7 @@ impl GradientBuffer {
 
     /// Whether Gaussian `index` has received any gradient.
     pub fn is_touched(&self, index: u32) -> bool {
-        self.touched
-            .get(index as usize)
-            .copied()
-            .unwrap_or(false)
+        self.touched.get(index as usize).copied().unwrap_or(false)
     }
 
     /// The set of Gaussians that received gradients.
@@ -189,7 +190,11 @@ mod tests {
     fn accumulation_order_does_not_matter() {
         // The paper's §4.2.3 correctness argument: gradients accumulated over
         // a batch are identical regardless of micro-batch order.
-        let grads = [(0u32, grad(0.3, 0.1)), (2, grad(-0.5, 0.2)), (0, grad(0.7, -0.4))];
+        let grads = [
+            (0u32, grad(0.3, 0.1)),
+            (2, grad(-0.5, 0.2)),
+            (0, grad(0.7, -0.4)),
+        ];
         let mut forward = GradientBuffer::new(3);
         for (i, g) in &grads {
             forward.add(*i, g);

@@ -42,7 +42,11 @@ impl Image {
             "pixel buffer size must match dimensions"
         );
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
-        Image { width, height, pixels }
+        Image {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Image width in pixels.
@@ -75,7 +79,10 @@ impl Image {
     /// # Panics
     /// Panics if the coordinates are out of bounds.
     pub fn pixel(&self, x: u32, y: u32) -> [f32; 3] {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[(y * self.width + x) as usize]
     }
 
@@ -84,7 +91,10 @@ impl Image {
     /// # Panics
     /// Panics if the coordinates are out of bounds.
     pub fn set_pixel(&mut self, x: u32, y: u32, value: [f32; 3]) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[(y * self.width + x) as usize] = value;
     }
 
@@ -296,7 +306,10 @@ mod tests {
                 b.set_pixel(x, y, [1.0 - v; 3]);
             }
         }
-        assert!(ssim(&a, &b) < 0.1, "inverted structure should have low SSIM");
+        assert!(
+            ssim(&a, &b) < 0.1,
+            "inverted structure should have low SSIM"
+        );
         assert!(ssim(&a, &a) > 0.99);
     }
 

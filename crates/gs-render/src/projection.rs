@@ -252,7 +252,13 @@ pub fn project_gaussian_backward(
     out.d_opacity_logit = screen.d_opacity * o * (1.0 - o);
 
     // --- colour → SH -------------------------------------------------------
-    eval_sh_color_backward(SH_DEGREE, &g.sh, ctx.view_dir, screen.d_color, &mut out.d_sh);
+    eval_sh_color_backward(
+        SH_DEGREE,
+        &g.sh,
+        ctx.view_dir,
+        screen.d_color,
+        &mut out.d_sh,
+    );
 
     // --- mean2d → camera-space position ------------------------------------
     let mut d_p_cam = Vec3::new(
@@ -404,7 +410,12 @@ fn rotation_matrix_backward(q_raw: Quat, d_r: &Mat3) -> [f32; 4] {
         }
         acc
     };
-    let d_unit = [contract(&dr_dw), contract(&dr_dx), contract(&dr_dy), contract(&dr_dz)];
+    let d_unit = [
+        contract(&dr_dw),
+        contract(&dr_dx),
+        contract(&dr_dy),
+        contract(&dr_dz),
+    ];
 
     // Backward through normalisation q_unit = q_raw / |q_raw|:
     // dL/dq_raw = (dL/dq_unit - q_unit * <dL/dq_unit, q_unit>) / |q_raw|.
@@ -519,10 +530,7 @@ mod tests {
     /// functional of all projected outputs.
     fn objective(g: &Gaussian, cam: &Camera) -> f32 {
         let (p, _) = project_gaussian(g, 0, cam).expect("projects");
-        0.7 * p.mean2d.x - 0.4 * p.mean2d.y
-            + 1.3 * p.conic.a
-            + 0.8 * p.conic.b
-            - 0.6 * p.conic.c
+        0.7 * p.mean2d.x - 0.4 * p.mean2d.y + 1.3 * p.conic.a + 0.8 * p.conic.b - 0.6 * p.conic.c
             + 2.0 * p.color[0]
             - 1.0 * p.color[1]
             + 0.5 * p.color[2]

@@ -135,10 +135,14 @@ pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -
             .partial_cmp(&projected[b as usize].depth)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let projected: Vec<ProjectedGaussian> =
-        order.iter().map(|&i| projected[i as usize].clone()).collect();
-    let contexts: Vec<ProjectionContext> =
-        order.iter().map(|&i| contexts[i as usize].clone()).collect();
+    let projected: Vec<ProjectedGaussian> = order
+        .iter()
+        .map(|&i| projected[i as usize].clone())
+        .collect();
+    let contexts: Vec<ProjectionContext> = order
+        .iter()
+        .map(|&i| contexts[i as usize].clone())
+        .collect();
 
     // 3. Bin splats into tiles (kept in depth order by construction).
     let tiles_x = width.div_ceil(TILE_SIZE);
@@ -324,7 +328,9 @@ pub fn render_backward(
                     for pos in (0..state.last_index as usize).rev() {
                         let slot = list[pos] as usize;
                         let p = &aux.projected[slot];
-                        let Some(alpha) = splat_alpha(p, px, py) else { continue };
+                        let Some(alpha) = splat_alpha(p, px, py) else {
+                            continue;
+                        };
                         // Transmittance in front of this splat.
                         t /= 1.0 - alpha;
                         let g = &mut screen_grads[slot];
@@ -346,10 +352,8 @@ pub fn render_backward(
                         }
 
                         // Chain through alpha = min(0.99, opacity * exp(power)).
-                        let d = Vec2::new(
-                            px as f32 + 0.5 - p.mean2d.x,
-                            py as f32 + 0.5 - p.mean2d.y,
-                        );
+                        let d =
+                            Vec2::new(px as f32 + 0.5 - p.mean2d.x, py as f32 + 0.5 - p.mean2d.y);
                         let power = -0.5 * p.conic.quadratic_form(d.x, d.y);
                         let gauss = power.exp();
                         if p.opacity * gauss >= MAX_ALPHA {
@@ -503,9 +507,19 @@ mod tests {
     fn nearer_gaussian_occludes_farther() {
         let mut model = GaussianModel::new();
         // Opaque red Gaussian in front.
-        model.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 3.0), 0.5, [1.0, 0.0, 0.0], 0.99));
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 3.0),
+            0.5,
+            [1.0, 0.0, 0.0],
+            0.99,
+        ));
         // Opaque green Gaussian behind.
-        model.push(Gaussian::isotropic(Vec3::new(0.0, 0.0, 8.0), 0.5, [0.0, 1.0, 0.0], 0.99));
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 8.0),
+            0.5,
+            [0.0, 1.0, 0.0],
+            0.99,
+        ));
         let out = render(&model, &camera(32), &RenderOptions::default());
         let center = out.image.pixel(16, 16);
         assert!(center[0] > 0.6, "front splat should dominate: {center:?}");

@@ -115,7 +115,7 @@ pub fn densify_and_prune(
             // Split: shrink the original and add a sibling offset along a
             // random direction, both at ~60% of the original size.
             let mut shrunk = g.clone();
-            shrunk.log_scale = shrunk.log_scale + Vec3::splat((0.6f32).ln());
+            shrunk.log_scale += Vec3::splat((0.6f32).ln());
             let offset = Vec3::new(
                 rng.gen_range(-1.0..1.0),
                 rng.gen_range(-1.0..1.0),
@@ -151,9 +151,7 @@ mod tests {
             .iter()
             .zip(opacities)
             .enumerate()
-            .map(|(i, (&s, &o))| {
-                Gaussian::isotropic(Vec3::new(i as f32, 0.0, 0.0), s, [0.5; 3], o)
-            })
+            .map(|(i, (&s, &o))| Gaussian::isotropic(Vec3::new(i as f32, 0.0, 0.0), s, [0.5; 3], o))
             .collect()
     }
 

@@ -121,7 +121,11 @@ pub fn generate_dataset(spec: &SceneSpec, config: &DatasetConfig) -> Dataset {
 }
 
 fn random_color(rng: &mut StdRng) -> [f32; 3] {
-    [rng.gen_range(0.05..0.95), rng.gen_range(0.05..0.95), rng.gen_range(0.05..0.95)]
+    [
+        rng.gen_range(0.05..0.95),
+        rng.gen_range(0.05..0.95),
+        rng.gen_range(0.05..0.95),
+    ]
 }
 
 fn generate_gaussians(spec: &SceneSpec, count: usize, rng: &mut StdRng) -> GaussianModel {
@@ -224,16 +228,16 @@ fn generate_cameras(spec: &SceneSpec, config: &DatasetConfig, rng: &mut StdRng) 
                 // captures, as in the real datasets.
                 let cols = (config.num_views as f32).sqrt().ceil() as usize;
                 let row = i / cols;
-                let col = if row % 2 == 0 { i % cols } else { cols - 1 - (i % cols) };
+                let col = if row.is_multiple_of(2) {
+                    i % cols
+                } else {
+                    cols - 1 - (i % cols)
+                };
                 let x = -e * 0.45 + (col as f32 + 0.5) * e * 0.9 / cols as f32;
                 let z = -e * 0.45 + (row as f32 + 0.5) * e * 0.9 / cols as f32;
                 let altitude = (e * 0.10).min(35.0);
                 let eye = Vec3::new(x, altitude, z);
-                let target = Vec3::new(
-                    x + rng.gen_range(-0.02..0.02) * e,
-                    0.0,
-                    z + e * 0.04,
-                );
+                let target = Vec3::new(x + rng.gen_range(-0.02..0.02) * e, 0.0, z + e * 0.04);
                 Camera::look_at(eye, target, Vec3::Y, intrinsics)
             }
             Trajectory::IndoorWalk => {

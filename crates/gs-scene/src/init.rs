@@ -47,9 +47,14 @@ impl Default for InitConfig {
 /// # Panics
 /// Panics if `reference` is empty or `config.num_gaussians` is zero.
 pub fn init_from_point_cloud(reference: &GaussianModel, config: &InitConfig) -> GaussianModel {
-    assert!(!reference.is_empty(), "reference point cloud must not be empty");
+    assert!(
+        !reference.is_empty(),
+        "reference point cloud must not be empty"
+    );
     assert!(config.num_gaussians > 0, "need at least one gaussian");
-    let (min, max) = reference.bounding_box().expect("non-empty model has a bounding box");
+    let (min, max) = reference
+        .bounding_box()
+        .expect("non-empty model has a bounding box");
     let extent = (max - min).length().max(1e-3);
     let noise = config.position_noise * extent;
 
@@ -84,7 +89,9 @@ pub fn init_from_point_cloud(reference: &GaussianModel, config: &InitConfig) -> 
 pub fn init_random(reference: &GaussianModel, config: &InitConfig) -> GaussianModel {
     assert!(!reference.is_empty(), "reference model must not be empty");
     assert!(config.num_gaussians > 0, "need at least one gaussian");
-    let (min, max) = reference.bounding_box().expect("non-empty model has a bounding box");
+    let (min, max) = reference
+        .bounding_box()
+        .expect("non-empty model has a bounding box");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut model = GaussianModel::with_capacity(config.num_gaussians);
     for _ in 0..config.num_gaussians {

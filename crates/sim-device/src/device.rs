@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn scaled_capacity_preserves_rates() {
         let p = DeviceProfile::rtx4090().scale_capacity(0.001);
-        assert_eq!(p.gpu_memory_bytes, (24.0 * GIB as f64 * 0.001).round() as u64);
+        assert_eq!(
+            p.gpu_memory_bytes,
+            (24.0 * GIB as f64 * 0.001).round() as u64
+        );
         assert_eq!(p.pcie_bandwidth, DeviceProfile::rtx4090().pcie_bandwidth);
         assert!(p.usable_gpu_memory() < p.gpu_memory_bytes);
     }

@@ -84,7 +84,13 @@ mod tests {
         let load = t.push_with_bytes(OpKind::LoadParams, Lane::GpuComm, 1.0, 10_000_000_000, &[]);
         let fwd = t.push(OpKind::Forward, Lane::GpuCompute, 4.0, &[load]);
         let bwd = t.push(OpKind::Backward, Lane::GpuCompute, 4.0, &[fwd]);
-        t.push_with_bytes(OpKind::StoreGrads, Lane::GpuComm, 1.0, 5_000_000_000, &[bwd]);
+        t.push_with_bytes(
+            OpKind::StoreGrads,
+            Lane::GpuComm,
+            1.0,
+            5_000_000_000,
+            &[bwd],
+        );
         t.push(OpKind::CpuAdamUpdate, Lane::CpuAdam, 3.0, &[bwd]);
         t
     }
@@ -93,7 +99,13 @@ mod tests {
     fn utilization_components_are_bounded() {
         let t = busy_timeline();
         let util = hardware_utilization(&t, &DeviceProfile::rtx4090());
-        for v in [util.cpu_util, util.dram_read, util.dram_write, util.pcie_rx, util.pcie_tx] {
+        for v in [
+            util.cpu_util,
+            util.dram_read,
+            util.dram_write,
+            util.pcie_rx,
+            util.pcie_tx,
+        ] {
             assert!((0.0..=100.0).contains(&v), "value {v} out of range");
         }
         assert!(util.cpu_util > 0.0);
@@ -111,8 +123,9 @@ mod tests {
         let t = busy_timeline();
         let cdf = gpu_idle_rate_cdf(&t, 0.5);
         assert!(!cdf.is_empty());
-        assert!(cdf.iter().all(|(rate, frac)| (0.0..=100.0).contains(rate)
-            && (0.0..=1.0).contains(frac)));
+        assert!(cdf
+            .iter()
+            .all(|(rate, frac)| (0.0..=100.0).contains(rate) && (0.0..=1.0).contains(frac)));
         let mean = mean_gpu_utilization(&t, 0.5);
         assert!(mean > 0.0 && mean <= 100.0);
         // Compute lane is busy 8 of the 12-second makespan (the trailing

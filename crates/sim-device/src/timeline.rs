@@ -27,7 +27,12 @@ pub enum Lane {
 
 impl Lane {
     /// All lanes in display order.
-    pub const ALL: [Lane; 4] = [Lane::GpuCompute, Lane::GpuComm, Lane::CpuAdam, Lane::CpuScheduler];
+    pub const ALL: [Lane; 4] = [
+        Lane::GpuCompute,
+        Lane::GpuComm,
+        Lane::CpuAdam,
+        Lane::CpuScheduler,
+    ];
 }
 
 /// The kind of work an operation represents; used for run-time breakdowns
@@ -119,7 +124,10 @@ impl Timeline {
         bytes: u64,
         deps: &[OpId],
     ) -> OpId {
-        assert!(duration >= 0.0, "duration must be non-negative, got {duration}");
+        assert!(
+            duration >= 0.0,
+            "duration must be non-negative, got {duration}"
+        );
         let lane_ready = *self.lane_available.get(&lane).unwrap_or(&0.0);
         let deps_ready = deps
             .iter()
@@ -183,7 +191,11 @@ impl Timeline {
 
     /// Total bytes moved by operations of `kind`.
     pub fn bytes_by_kind(&self, kind: OpKind) -> u64 {
-        self.ops.iter().filter(|o| o.kind == kind).map(|o| o.bytes).sum()
+        self.ops
+            .iter()
+            .filter(|o| o.kind == kind)
+            .map(|o| o.bytes)
+            .sum()
     }
 
     /// Fraction of the makespan a lane was busy (0 for an empty timeline).
@@ -193,6 +205,24 @@ impl Timeline {
             0.0
         } else {
             self.busy_time(lane) / makespan
+        }
+    }
+
+    /// Total time a lane sat idle within the makespan (0 for an empty
+    /// timeline).
+    pub fn idle_time(&self, lane: Lane) -> f64 {
+        (self.makespan() - self.busy_time(lane)).max(0.0)
+    }
+
+    /// Fraction of the makespan a lane sat idle — the quantity the paper's
+    /// Figure 15 compares between CLM and the no-overlap schedules (0 for an
+    /// empty timeline).
+    pub fn idle_fraction(&self, lane: Lane) -> f64 {
+        let makespan = self.makespan();
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            (self.idle_time(lane) / makespan).clamp(0.0, 1.0)
         }
     }
 
@@ -370,6 +400,24 @@ mod tests {
         let t = Timeline::new();
         assert_eq!(t.makespan(), 0.0);
         assert_eq!(t.utilization(Lane::GpuCompute), 0.0);
+        assert_eq!(t.idle_time(Lane::GpuCompute), 0.0);
+        assert_eq!(t.idle_fraction(Lane::GpuCompute), 0.0);
         assert!(t.idle_rates(Lane::GpuCompute, 1.0).is_empty());
+    }
+
+    #[test]
+    fn idle_time_and_fraction_complement_utilization() {
+        let mut t = Timeline::new();
+        let a = t.push(OpKind::Forward, Lane::GpuCompute, 1.0, &[]);
+        let b = t.push(OpKind::LoadParams, Lane::GpuComm, 3.0, &[a]);
+        t.push(OpKind::Forward, Lane::GpuCompute, 1.0, &[b]);
+        // Makespan 5, compute busy 2 -> idle 3 (60%).
+        assert_eq!(t.makespan(), 5.0);
+        assert_eq!(t.idle_time(Lane::GpuCompute), 3.0);
+        assert!((t.idle_fraction(Lane::GpuCompute) - 0.6).abs() < 1e-12);
+        assert!(
+            (t.idle_fraction(Lane::GpuCompute) + t.utilization(Lane::GpuCompute) - 1.0).abs()
+                < 1e-12
+        );
     }
 }

@@ -18,7 +18,11 @@ fn main() {
         "scene {} at {}x{}, batch size {}, mean sparsity rho = {:.4}",
         scene.name, scene.resolution.0, scene.resolution.1, scene.batch_size, scene.rho_mean
     );
-    println!("device: {} with {:.0} GB GPU memory\n", device.name, device.gpu_memory_bytes as f64 / GIB as f64);
+    println!(
+        "device: {} with {:.0} GB GPU memory\n",
+        device.name,
+        device.gpu_memory_bytes as f64 / GIB as f64
+    );
 
     // 1. How far can each system scale before OOM?
     println!("maximum trainable model size before OOM:");
@@ -42,19 +46,30 @@ fn main() {
         est.total() as f64 / GIB as f64,
         pinned_memory_required(n) as f64 / GIB as f64
     );
-    for system in [SystemKind::Baseline, SystemKind::EnhancedBaseline, SystemKind::NaiveOffload] {
+    for system in [
+        SystemKind::Baseline,
+        SystemKind::EnhancedBaseline,
+        SystemKind::NaiveOffload,
+    ] {
         let needed = gpu_memory_required(system, n, &scene).total();
         println!(
             "  {:<18} would need {:>6.1} GB -> {}",
             system.to_string(),
             needed as f64 / GIB as f64,
-            if needed > device.usable_gpu_memory() { "OOM" } else { "fits" }
+            if needed > device.usable_gpu_memory() {
+                "OOM"
+            } else {
+                "fits"
+            }
         );
     }
 
     // 3. Throughput at the largest size naive offloading can handle.
     let n_naive = max_trainable_gaussians(SystemKind::NaiveOffload, &device, &scene);
-    println!("\nthroughput at {:.1} M Gaussians (largest size naive offloading supports):", n_naive as f64 / 1e6);
+    println!(
+        "\nthroughput at {:.1} M Gaussians (largest size naive offloading supports):",
+        n_naive as f64 / 1e6
+    );
     for system in [SystemKind::NaiveOffload, SystemKind::Clm] {
         let stats = synthetic_microbatch_stats(&scene, n_naive, system == SystemKind::Clm);
         let sim = simulate_batch(system, &device, &scene, n_naive, &stats);

@@ -18,12 +18,18 @@ fn main() {
     let mut device = DeviceProfile::rtx4090();
     device.gpu_memory_bytes = (gpu_gib * GIB as f64) as u64;
     device.name = format!("{gpu_gib:.0} GiB GPU");
-    println!("planning for a {} (fragmentation-adjusted usable: {:.1} GiB)\n",
-             device.name, device.usable_gpu_memory() as f64 / GIB as f64);
+    println!(
+        "planning for a {} (fragmentation-adjusted usable: {:.1} GiB)\n",
+        device.name,
+        device.usable_gpu_memory() as f64 / GIB as f64
+    );
 
     for kind in SceneKind::ALL {
         let scene = SceneProfile::paper_reference(kind);
-        println!("scene {kind} ({}x{}, batch {}):", scene.resolution.0, scene.resolution.1, scene.batch_size);
+        println!(
+            "scene {kind} ({}x{}, batch {}):",
+            scene.resolution.0, scene.resolution.1, scene.batch_size
+        );
         for system in SystemKind::ALL {
             let n = max_trainable_gaussians(system, &device, &scene);
             let est = gpu_memory_required(system, n, &scene);
@@ -36,7 +42,11 @@ fn main() {
             );
         }
         let clm = max_trainable_gaussians(SystemKind::Clm, &device, &scene) as f64;
-        let enhanced = max_trainable_gaussians(SystemKind::EnhancedBaseline, &device, &scene) as f64;
-        println!("  -> CLM trains a {:.1}x larger model than the best GPU-only configuration\n", clm / enhanced);
+        let enhanced =
+            max_trainable_gaussians(SystemKind::EnhancedBaseline, &device, &scene) as f64;
+        println!(
+            "  -> CLM trains a {:.1}x larger model than the best GPU-only configuration\n",
+            clm / enhanced
+        );
     }
 }

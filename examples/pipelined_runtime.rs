@@ -1,0 +1,68 @@
+//! Pipelined runtime demo: train a small synthetic scene with the
+//! discrete-event execution engine and watch how the prefetch lookahead
+//! window trades GPU idle time for pinned staging memory — at identical
+//! numerics.
+//!
+//! Run with `cargo run --release --example pipelined_runtime`.
+
+use clm_repro::clm_core::{ground_truth_images, TrainConfig};
+use clm_repro::clm_runtime::{PipelinedEngine, RuntimeConfig};
+use clm_repro::gs_scene::{
+    generate_dataset, init_from_point_cloud, DatasetConfig, InitConfig, SceneKind, SceneSpec,
+};
+use clm_repro::sim_device::Lane;
+
+fn main() {
+    let spec = SceneSpec::of(SceneKind::Rubble);
+    let dataset = generate_dataset(
+        &spec,
+        &DatasetConfig {
+            num_gaussians: 600,
+            num_views: 16,
+            width: 48,
+            height: 36,
+            seed: 5,
+        },
+    );
+    let targets = ground_truth_images(&dataset);
+    let init = init_from_point_cloud(
+        &dataset.ground_truth,
+        &InitConfig {
+            num_gaussians: 220,
+            initial_sigma: spec.extent * 0.03,
+            initial_opacity: 0.4,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+
+    println!("window  makespan(ms)  gpu-idle  comm-busy(ms)  pinned-bufs  loss");
+    for window in [0usize, 1, 2, 4, 16] {
+        let mut engine = PipelinedEngine::new(
+            init.clone(),
+            TrainConfig {
+                batch_size: 8,
+                ..Default::default()
+            },
+            RuntimeConfig {
+                prefetch_window: window,
+                ..Default::default()
+            },
+        );
+        let reports = engine.run_epoch(&dataset, &targets);
+        let makespan: f64 = reports.iter().map(|r| r.makespan()).sum();
+        let idle: f64 =
+            reports.iter().map(|r| r.gpu_idle_fraction()).sum::<f64>() / reports.len() as f64;
+        let comm: f64 = reports.iter().map(|r| r.lane(Lane::GpuComm).busy).sum();
+        let loss: f32 = reports.iter().map(|r| r.batch.loss).sum::<f32>() / reports.len() as f32;
+        println!(
+            "{window:>6}  {:>12.3}  {:>8.1}%  {:>13.3}  {:>11}  {loss:.5}",
+            makespan * 1e3,
+            idle * 100.0,
+            comm * 1e3,
+            engine.pool_stats().high_water_buffers,
+        );
+    }
+    println!("\nnote: the loss column is identical across windows — pipelining changes the");
+    println!("schedule, never the numerics (the paper's equivalence claim).");
+}

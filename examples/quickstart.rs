@@ -65,7 +65,10 @@ fn main() {
     }
 
     let final_psnr = trainer.evaluate_psnr(&dataset.cameras, &targets);
-    println!("final PSNR: {final_psnr:.2} dB (improved by {:.2} dB)", final_psnr - initial_psnr);
+    println!(
+        "final PSNR: {final_psnr:.2} dB (improved by {:.2} dB)",
+        final_psnr - initial_psnr
+    );
     println!(
         "GPU-resident selection-critical bytes: {} | pinned host bytes: {}",
         trainer.offloaded().gpu_resident_bytes(),

@@ -10,8 +10,11 @@
 //! * [`gs_scene`] — synthetic evaluation scenes and densification.
 //! * [`sim_device`] — simulated GPU/CPU/PCIe substrate and event timeline.
 //! * [`clm_core`] — the CLM offloading system and the baseline trainers.
+//! * [`clm_runtime`] — pipelined discrete-event execution engine running the
+//!   trainers on the simulated device timeline.
 
 pub use clm_core;
+pub use clm_runtime;
 pub use gs_core;
 pub use gs_optim;
 pub use gs_render;

@@ -2,7 +2,9 @@
 //! attribute-wise offloaded store, cache planning and finalisation analysis
 //! must agree with what the renderer actually touches.
 
-use clm_repro::clm_core::{microbatch_stats_from_sets, CachePlan, FinalizationPlan, OffloadedModel};
+use clm_repro::clm_core::{
+    microbatch_stats_from_sets, CachePlan, FinalizationPlan, OffloadedModel,
+};
 use clm_repro::gs_core::{cull_frustum, VisibilitySet};
 use clm_repro::gs_render::{l1_loss, render, render_backward, Image, RenderOptions};
 use clm_repro::gs_scene::{generate_dataset, DatasetConfig, SceneKind, SceneSpec};
