@@ -1,0 +1,98 @@
+//! Wall-clock runtime benchmark binary.
+//!
+//! Trains the same scene with the synchronous trainer, the simulated
+//! pipelined engine and the threaded backend, verifies the three are
+//! bit-identical, and emits the measurements as single-line JSON to stdout
+//! **and** to `BENCH_runtime.json` (override with `--out <path>`).
+//!
+//! Flags:
+//!
+//! * `--smoke` — run the tiny CI configuration and enforce the smoke gate:
+//!   the written artefact must be well-formed, the three backends must be
+//!   bit-identical, and the threaded backend must reach at least 0.9× the
+//!   synchronous trainer's throughput on a multi-core host (0.75× on a
+//!   single core, where the overlap has nowhere to run and only the
+//!   coordination overhead is being bounded).
+//! * `--out <path>` — where to write the JSON artefact.
+
+use clm_bench::wallclock::{looks_like_bench_json, run_wallclock_bench, WallclockScale};
+use std::process::ExitCode;
+
+/// Minimum threaded/synchronous throughput ratio the smoke gate accepts on
+/// a multi-core host, where the lanes genuinely overlap.
+const SMOKE_MIN_SPEEDUP_MULTI_CORE: f64 = 0.9;
+
+/// Gate on a single-core host: the lanes time-slice instead of overlapping,
+/// so the threaded backend can only lose by its coordination overhead; a
+/// looser bound keeps the gate meaningful (overhead stays small) without
+/// flaking on scheduler noise.
+const SMOKE_MIN_SPEEDUP_SINGLE_CORE: f64 = 0.75;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+
+    let scale = if smoke {
+        WallclockScale::smoke()
+    } else {
+        WallclockScale::full()
+    };
+    let bench = run_wallclock_bench(scale);
+    let json = bench.to_json();
+    println!("{json}");
+
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("bench_runtime: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if !bench.numerics_match {
+        eprintln!("bench_runtime: FAIL — backends diverged numerically");
+        return ExitCode::FAILURE;
+    }
+
+    if smoke {
+        // Gate 1: the artefact on disk must be a well-formed single-line
+        // JSON object.
+        let written = match std::fs::read_to_string(&out_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_runtime: cannot re-read {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !looks_like_bench_json(&written) {
+            eprintln!("bench_runtime: FAIL — {out_path} is malformed: {written}");
+            return ExitCode::FAILURE;
+        }
+        // Gate 2: threaded throughput relative to the synchronous trainer,
+        // with the bound picked by how many cores the host actually has.
+        let gate = if bench.host_cores >= 2 {
+            SMOKE_MIN_SPEEDUP_MULTI_CORE
+        } else {
+            SMOKE_MIN_SPEEDUP_SINGLE_CORE
+        };
+        let speedup = bench.speedup_threaded_vs_sync();
+        if speedup < gate {
+            eprintln!(
+                "bench_runtime: FAIL — threaded throughput is only {speedup:.3}x the \
+                 synchronous trainer's (gate: {gate} on {} cores)",
+                bench.host_cores
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "bench_runtime: smoke gate passed (threaded/sync = {speedup:.3}x, \
+             threaded/simulated = {:.3}x, cores = {})",
+            bench.speedup_threaded_vs_simulated(),
+            bench.host_cores
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -11,11 +11,13 @@
 //! fall — are the reproduction target, recorded in `EXPERIMENTS.md`.
 
 pub mod runtime_reports;
+pub mod wallclock;
 
 pub use runtime_reports::{
     runtime_summary_figure11, runtime_summary_figure12, runtime_summary_figure15,
     runtime_summary_table7,
 };
+pub use wallclock::{run_wallclock_bench, WallclockBench, WallclockScale};
 
 use clm_core::{
     gpu_memory_required, ground_truth_images, max_trainable_gaussians, pinned_memory_required,

@@ -74,6 +74,7 @@ fn paper_scale_engine(init: GaussianModel, system: SystemKind, window: usize) ->
             prefetch_window: window,
             cost_scale,
             pixel_cost_scale: PAPER_SCALE_PIXELS / (48.0 * 36.0),
+            ..Default::default()
         },
     )
 }

@@ -52,7 +52,9 @@ pub mod train;
 pub mod tsp;
 
 pub use cache::{batch_fetch_bytes, batch_fetch_bytes_no_cache, batch_store_bytes, CachePlan};
-pub use offload::{OffloadedModel, GRADIENT_BYTES, NON_CRITICAL_BYTES, SELECTION_CRITICAL_BYTES};
+pub use offload::{
+    gather_rows_into, OffloadedModel, GRADIENT_BYTES, NON_CRITICAL_BYTES, SELECTION_CRITICAL_BYTES,
+};
 pub use order::{order_batch, ordered_fetch_bytes, OrderingStrategy};
 pub use perf::{
     check_memory_fit, gpu_memory_required, max_trainable_gaussians, microbatch_stats_from_sets,

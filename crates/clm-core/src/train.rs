@@ -18,7 +18,7 @@ use gs_core::camera::Camera;
 use gs_core::gaussian::{GaussianModel, NON_CRITICAL_FLOATS};
 use gs_core::visibility::VisibilitySet;
 use gs_core::PARAMS_PER_GAUSSIAN;
-use gs_optim::{AdamConfig, GaussianAdam, GradientBuffer};
+use gs_optim::{AdamConfig, AdamWorkItem, GaussianAdam, GradientBuffer};
 use gs_render::{l1_loss, psnr, render, render_backward, Image, RenderOptions};
 use gs_scene::Dataset;
 
@@ -160,6 +160,11 @@ impl Trainer {
     /// model).
     pub fn offloaded(&self) -> &OffloadedModel {
         &self.offloaded
+    }
+
+    /// The optimiser (moment estimates and per-Gaussian step counts).
+    pub fn optimizer(&self) -> &GaussianAdam {
+        &self.optimizer
     }
 
     /// The training configuration.
@@ -317,7 +322,7 @@ impl Trainer {
     /// sees — that would mean a prefetch raced with an optimiser update,
     /// which the finalisation schedule is supposed to make impossible.
     pub fn process_microbatch(
-        &mut self,
+        &self,
         plan: &BatchPlan,
         micro_idx: usize,
         cameras: &[Camera],
@@ -372,6 +377,32 @@ impl Trainer {
             self.optimizer
                 .step_subset(&mut self.model, grads, group.indices());
         }
+    }
+
+    /// Packs the CPU Adam work of one finalisation group into self-contained
+    /// [`AdamWorkItem`]s from a **shared** borrow, so a threaded runtime can
+    /// ship the expensive update math to a dedicated worker while the main
+    /// thread keeps rendering.
+    ///
+    /// The finalisation schedule guarantees the packed Gaussians are never
+    /// read again within the batch, so deferring the write-back
+    /// ([`apply_adam_results`](Self::apply_adam_results)) to batch end is
+    /// bit-identical to the synchronous [`apply_finalized`](Self::apply_finalized).
+    pub fn pack_adam_group(&self, grads: &GradientBuffer, indices: &[u32]) -> Vec<AdamWorkItem> {
+        self.optimizer.pack_subset(&self.model, grads, indices)
+    }
+
+    /// Merges computed Adam work items back into the model and optimiser
+    /// state (pure copies; the math already ran on the worker).
+    pub fn apply_adam_results(&mut self, items: &[AdamWorkItem]) {
+        self.optimizer.apply_packed(&mut self.model, items);
+    }
+
+    /// Records host rows gathered by an external (worker-thread) copy, so
+    /// the offloaded store's traffic counters stay consistent with the
+    /// in-line gather path.
+    pub fn note_gathered_rows(&mut self, rows: usize) {
+        self.offloaded.note_gathered_rows(rows);
     }
 
     /// Closes a batch: runs the batch-end optimiser step for strategies

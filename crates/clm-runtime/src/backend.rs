@@ -1,0 +1,118 @@
+//! The execution-backend abstraction.
+//!
+//! Two backends drive the trainers through the same stepwise
+//! `plan → begin → stage/process/apply → finish` sequence and therefore
+//! produce identical numerics; they differ in what their schedules *are*:
+//!
+//! * [`PipelinedEngine`](crate::PipelinedEngine) — the **simulated**
+//!   backend: every lane executes inline on the calling thread while a
+//!   discrete-event [`Timeline`](sim_device::Timeline) models when each
+//!   operation would have run on the device.  It is the numerics oracle and
+//!   the source of the paper-scale schedule metrics (Figures 11–15).
+//! * [`ThreadedBackend`](crate::ThreadedBackend) — the **threaded**
+//!   backend: the gather lane and the CPU Adam lane run on real worker
+//!   threads, so communication and optimiser work genuinely overlap the
+//!   render compute and the speedup is measurable in wall-clock time.
+//!
+//! [`ExecutionReport`] is the common currency: the numeric batch outcome
+//! plus measured wall-clock time and per-lane busy seconds.  For the
+//! simulated backend the lane times are simulated device seconds; for the
+//! threaded backend they are measured thread busy times.
+
+use clm_core::{BatchReport, Trainer};
+use gs_core::camera::Camera;
+use gs_render::Image;
+use gs_scene::Dataset;
+
+/// Busy seconds of each pipeline lane over one batch.
+///
+/// Simulated device seconds for the simulated backend, measured thread busy
+/// seconds for the threaded backend.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LaneBusy {
+    /// Forward/backward render compute (the would-be GPU lane).
+    pub compute: f64,
+    /// Parameter gathers / gradient stores (the communication lane).
+    pub comm: f64,
+    /// CPU Adam updates.
+    pub adam: f64,
+    /// Planning: frustum culling, ordering, finalisation analysis.
+    pub scheduling: f64,
+}
+
+/// What one executed batch did, numerically and in time.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The numeric batch outcome (identical across backends by
+    /// construction).
+    pub batch: BatchReport,
+    /// Number of views trained by the batch.
+    pub views: usize,
+    /// Prefetch lookahead window the backend chose for this batch (fixed or
+    /// adaptive).
+    pub prefetch_window: usize,
+    /// Measured wall-clock seconds the batch took on the host.
+    pub wall_seconds: f64,
+    /// Per-lane busy seconds (see [`LaneBusy`] for units per backend).
+    pub lanes: LaneBusy,
+    /// Simulated makespan in device seconds (simulated backend only).
+    pub sim_makespan: Option<f64>,
+}
+
+impl ExecutionReport {
+    /// Wall-clock training throughput in images per second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.views as f64 / self.wall_seconds
+        }
+    }
+
+    /// Busy fraction of the wall clock for a lane time (0 when the batch
+    /// took no measurable time).
+    pub fn busy_fraction(&self, lane_seconds: f64) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            (lane_seconds / self.wall_seconds).max(0.0)
+        }
+    }
+}
+
+/// A trainer execution strategy: how one batch's staged gathers, render
+/// compute and optimiser updates are laid out on the host.
+pub trait ExecutionBackend {
+    /// Short stable identifier (`"simulated"`, `"threaded"`, …) used in
+    /// benchmark output.
+    fn backend_name(&self) -> &'static str;
+
+    /// The wrapped trainer (model, config, counters).
+    fn trainer(&self) -> &Trainer;
+
+    /// Executes one training batch.
+    ///
+    /// # Panics
+    /// Panics if `cameras` and `targets` differ in length or are empty.
+    fn execute_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> ExecutionReport;
+
+    /// Trains over the whole dataset once (views grouped into batches in
+    /// trajectory order), returning the per-batch reports.
+    fn execute_epoch(&mut self, dataset: &Dataset, targets: &[Image]) -> Vec<ExecutionReport> {
+        assert_eq!(dataset.cameras.len(), targets.len());
+        let batch = self.trainer().config().batch_size.max(1);
+        let mut reports = Vec::new();
+        let mut start = 0;
+        while start < dataset.cameras.len() {
+            let end = (start + batch).min(dataset.cameras.len());
+            reports.push(self.execute_batch(&dataset.cameras[start..end], &targets[start..end]));
+            start = end;
+        }
+        reports
+    }
+
+    /// Mean PSNR of the current model over a set of posed images.
+    fn evaluate_psnr(&self, cameras: &[Camera], targets: &[Image]) -> f32 {
+        self.trainer().evaluate_psnr(cameras, targets)
+    }
+}

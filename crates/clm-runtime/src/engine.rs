@@ -18,8 +18,9 @@
 //! (`Baseline`, `EnhancedBaseline`) and `NaiveOffload` are also supported,
 //! producing the no-overlap schedules the figures compare against.
 
+use crate::backend::{ExecutionBackend, ExecutionReport, LaneBusy};
 use crate::pool::PinnedBufferPool;
-use crate::prefetch::PrefetchWindow;
+use crate::prefetch::{PrefetchPolicy, PrefetchWindow, WindowSelector};
 use crate::report::IterationReport;
 use clm_core::{BatchPlan, SystemKind, TrainConfig, Trainer};
 use gs_core::camera::Camera;
@@ -43,8 +44,11 @@ pub struct RuntimeConfig {
     pub device: DeviceProfile,
     /// Prefetch lookahead window: how many micro-batches ahead of the one
     /// currently computing may be gathered (0 = synchronous, 1 = double
-    /// buffering).
+    /// buffering).  Under [`PrefetchPolicy::Adaptive`] this seeds the first
+    /// batch only.
     pub prefetch_window: usize,
+    /// Fixed vs. adaptive per-batch window selection.
+    pub policy: PrefetchPolicy,
     /// Multiplier applied to Gaussian counts and transferred bytes when
     /// costing timeline operations.  Numerics are unaffected; this lets
     /// reduced-scale scenes exercise the paper-scale (bandwidth-bound)
@@ -59,6 +63,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             device: DeviceProfile::rtx4090(),
             prefetch_window: 2,
+            policy: PrefetchPolicy::Fixed,
             cost_scale: 1.0,
             pixel_cost_scale: 1.0,
         }
@@ -71,6 +76,9 @@ pub struct PipelinedEngine {
     trainer: Trainer,
     config: RuntimeConfig,
     pool: PinnedBufferPool,
+    /// Adaptive-window state fed by each batch's simulated fetch/compute
+    /// times.
+    window_selector: WindowSelector,
 }
 
 impl PipelinedEngine {
@@ -89,6 +97,7 @@ impl PipelinedEngine {
             trainer: Trainer::new(initial_model, train),
             config,
             pool: PinnedBufferPool::new(),
+            window_selector: WindowSelector::new(),
         }
     }
 
@@ -147,6 +156,9 @@ impl PipelinedEngine {
         let plan = self.trainer.plan_batch(cameras);
         let mut grads = GradientBuffer::for_model(self.trainer.model());
         let mut timeline = Timeline::new();
+        let window = self
+            .window_selector
+            .choose(self.config.policy, self.config.prefetch_window);
 
         let sched = timeline.push(
             OpKind::Scheduling,
@@ -156,9 +168,15 @@ impl PipelinedEngine {
         );
 
         let total_loss = match self.trainer.config().system {
-            SystemKind::Clm => {
-                self.run_clm_batch(&plan, cameras, targets, &mut grads, &mut timeline, sched)
-            }
+            SystemKind::Clm => self.run_clm_batch(
+                &plan,
+                window,
+                cameras,
+                targets,
+                &mut grads,
+                &mut timeline,
+                sched,
+            ),
             SystemKind::NaiveOffload => {
                 self.run_naive_batch(&plan, cameras, targets, &mut grads, &mut timeline, sched)
             }
@@ -167,11 +185,21 @@ impl PipelinedEngine {
             }
         };
 
+        // Feed the adaptive window policy with this batch's simulated
+        // fetch/compute balance.
+        if self.trainer.config().system == SystemKind::Clm {
+            self.window_selector.observe(
+                timeline.time_by_kind(OpKind::LoadParams),
+                timeline.time_by_kind(OpKind::Forward) + timeline.time_by_kind(OpKind::Backward),
+            );
+        }
+
         let batch = self.trainer.finish_batch(&plan, &grads, total_loss);
         IterationReport {
             batch,
             timeline,
             views: cameras.len(),
+            prefetch_window: window,
         }
     }
 
@@ -196,6 +224,7 @@ impl PipelinedEngine {
     fn run_clm_batch(
         &mut self,
         plan: &BatchPlan,
+        window: usize,
         cameras: &[Camera],
         targets: &[Image],
         grads: &mut GradientBuffer,
@@ -203,7 +232,7 @@ impl PipelinedEngine {
         sched: OpId,
     ) -> f32 {
         let m = plan.num_microbatches();
-        let window = PrefetchWindow::new(self.config.prefetch_window, m);
+        let window = PrefetchWindow::new(window, m);
         let overlapped = self.trainer.overlapped();
 
         self.trainer.begin_batch(plan, grads);
@@ -481,5 +510,39 @@ impl PipelinedEngine {
             &[last_bwd],
         );
         total_loss
+    }
+}
+
+impl ExecutionBackend for PipelinedEngine {
+    fn backend_name(&self) -> &'static str {
+        "simulated"
+    }
+
+    fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// Executes the batch inline while costing it on the event timeline.
+    /// The report's wall-clock time is measured (all lanes ran on this
+    /// thread), while the per-lane busy times are the *simulated* device
+    /// seconds from the timeline.
+    fn execute_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> ExecutionReport {
+        let wall_start = std::time::Instant::now();
+        let report = self.run_batch(cameras, targets);
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        let t = &report.timeline;
+        ExecutionReport {
+            views: report.views,
+            prefetch_window: report.prefetch_window,
+            wall_seconds,
+            lanes: LaneBusy {
+                compute: t.busy_time(Lane::GpuCompute),
+                comm: t.busy_time(Lane::GpuComm),
+                adam: t.busy_time(Lane::CpuAdam),
+                scheduling: t.busy_time(Lane::CpuScheduler),
+            },
+            sim_makespan: Some(t.makespan()),
+            batch: report.batch,
+        }
     }
 }

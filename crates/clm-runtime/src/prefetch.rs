@@ -16,6 +16,82 @@
 //!   unconstrained by compute; the communication lane's own serialisation is
 //!   the only limit.
 
+/// How the runtime picks the prefetch lookahead window for each batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchPolicy {
+    /// Always use the configured `prefetch_window`.
+    #[default]
+    Fixed,
+    /// Derive the window from the measured fetch/compute ratio of the
+    /// previous batch, clamped to `[min, max]`: hiding one micro-batch's
+    /// gather needs roughly `fetch_time / compute_time` micro-batches of
+    /// compute in flight.  The first batch (no measurement yet) uses the
+    /// configured fixed window, clamped to the same range.
+    Adaptive {
+        /// Smallest window the policy may choose.
+        min: usize,
+        /// Largest window the policy may choose.
+        max: usize,
+    },
+}
+
+impl PrefetchPolicy {
+    /// Chooses the window for the next batch.  `fixed` is the configured
+    /// `prefetch_window`; `fetch_compute_ratio` is the previous batch's
+    /// measured `fetch_time / compute_time` (`None` before the first batch).
+    ///
+    /// The choice never affects numerics — only how far ahead gathers may
+    /// run (and therefore how many staging buffers are live).
+    pub fn choose_window(&self, fixed: usize, fetch_compute_ratio: Option<f64>) -> usize {
+        match *self {
+            PrefetchPolicy::Fixed => fixed,
+            PrefetchPolicy::Adaptive { min, max } => {
+                let max = max.max(min);
+                match fetch_compute_ratio {
+                    None => fixed.clamp(min, max),
+                    Some(r) => (r.max(0.0).ceil() as usize).clamp(min, max),
+                }
+            }
+        }
+    }
+}
+
+/// Per-backend state of the window choice: remembers the previous batch's
+/// fetch/compute ratio so [`PrefetchPolicy::Adaptive`] has a measurement to
+/// work from.  Both backends (simulated and threaded) drive the same
+/// `choose → observe` cycle through this one type, so a policy change
+/// cannot silently diverge between them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowSelector {
+    last_fetch_compute_ratio: Option<f64>,
+}
+
+impl WindowSelector {
+    /// Creates a selector with no measurement yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Chooses the window for the next batch under `policy`.
+    pub fn choose(&self, policy: PrefetchPolicy, fixed: usize) -> usize {
+        policy.choose_window(fixed, self.last_fetch_compute_ratio)
+    }
+
+    /// Records one batch's fetch and compute lane times (simulated device
+    /// seconds or measured thread-busy seconds — only their ratio matters).
+    /// Ignored when the batch had no measurable compute.
+    pub fn observe(&mut self, fetch_seconds: f64, compute_seconds: f64) {
+        if compute_seconds > 0.0 {
+            self.last_fetch_compute_ratio = Some(fetch_seconds / compute_seconds);
+        }
+    }
+
+    /// The most recent fetch/compute ratio, if any batch has been observed.
+    pub fn last_ratio(&self) -> Option<f64> {
+        self.last_fetch_compute_ratio
+    }
+}
+
 /// Lookahead-window policy for one batch of `num_microbatches` gathers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetchWindow {
@@ -146,6 +222,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn adaptive_policy_tracks_the_fetch_compute_ratio() {
+        let p = PrefetchPolicy::Adaptive { min: 1, max: 6 };
+        // No measurement yet: fall back to the configured window, clamped.
+        assert_eq!(p.choose_window(2, None), 2);
+        assert_eq!(p.choose_window(0, None), 1);
+        assert_eq!(p.choose_window(64, None), 6);
+        // Compute-bound batches need almost no lookahead…
+        assert_eq!(p.choose_window(2, Some(0.05)), 1);
+        // …balanced batches need ~1, bandwidth-bound batches need more.
+        assert_eq!(p.choose_window(2, Some(1.0)), 1);
+        assert_eq!(p.choose_window(2, Some(2.3)), 3);
+        assert_eq!(p.choose_window(2, Some(50.0)), 6);
+        // Degenerate ratios stay in range.
+        assert_eq!(p.choose_window(2, Some(-3.0)), 1);
+        // Fixed policy ignores measurements entirely.
+        assert_eq!(PrefetchPolicy::Fixed.choose_window(4, Some(9.0)), 4);
+    }
+
+    #[test]
+    fn window_selector_drives_the_choose_observe_cycle() {
+        let policy = PrefetchPolicy::Adaptive { min: 1, max: 6 };
+        let mut sel = WindowSelector::new();
+        assert_eq!(sel.last_ratio(), None);
+        assert_eq!(sel.choose(policy, 2), 2, "seed window before measurements");
+        sel.observe(3.0, 1.0);
+        assert_eq!(sel.last_ratio(), Some(3.0));
+        assert_eq!(sel.choose(policy, 2), 3);
+        // Zero compute leaves the previous measurement in place.
+        sel.observe(5.0, 0.0);
+        assert_eq!(sel.last_ratio(), Some(3.0));
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct IterationReport {
     pub timeline: Timeline,
     /// Number of views trained by the batch.
     pub views: usize,
+    /// Prefetch lookahead window the engine chose for this batch (the
+    /// configured window under `PrefetchPolicy::Fixed`, the measured-ratio
+    /// choice under `PrefetchPolicy::Adaptive`).
+    pub prefetch_window: usize,
 }
 
 impl IterationReport {
@@ -101,6 +105,7 @@ mod tests {
             },
             timeline: t,
             views: 2,
+            prefetch_window: 1,
         }
     }
 

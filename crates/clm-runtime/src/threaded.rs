@@ -1,0 +1,362 @@
+//! The threaded execution backend: real overlap on real threads.
+//!
+//! [`ThreadedBackend`] executes the same stepwise trainer sequence as the
+//! simulated [`PipelinedEngine`](crate::PipelinedEngine), but instead of
+//! costing the lanes on a discrete-event timeline it *runs* them on
+//! dedicated worker threads:
+//!
+//! * the **gather lane** (the GpuComm stream of Figure 6) copies pinned
+//!   host rows into recycled [`PinnedBufferPool`] staging buffers up to a
+//!   prefetch window ahead of the micro-batch that consumes them — the
+//!   copies happen on the worker, straight from a shared borrow of the
+//!   offloaded store (zero intermediate clones);
+//! * the **CPU Adam lane** receives each finalisation group as packed
+//!   [`AdamWorkItem`]s the moment its gradients are final and runs the
+//!   update math (optionally chunked across further threads) while the
+//!   main thread keeps rendering;
+//! * the **main thread** is the GPU-compute stand-in: it renders
+//!   micro-batches and accumulates gradients.
+//!
+//! # Why this is bit-identical to the synchronous trainer
+//!
+//! The finalisation schedule guarantees a Gaussian finalised by micro-batch
+//! `i` is never touched by micro-batches `> i`, so deferring the Adam
+//! write-back to batch end cannot change anything any later micro-batch
+//! reads; and each packed Adam row is computed by exactly the same scalar
+//! kernel the synchronous path runs, on exactly the values the synchronous
+//! path would see.  Prefetched gathers are safe for the same reason the
+//! simulated engine's are: within a batch no parameter a later micro-batch
+//! fetches is updated before its last access
+//! (`Trainer::process_microbatch` asserts staged rows never go stale).
+//!
+//! Bounded queues give the pipeline backpressure: a gather lane that runs
+//! ahead blocks on its completion queue (capped at the window's
+//! `staging_buffers()`, preserving the window+1 pinned-buffer high-water
+//! mark), and an Adam lane that falls behind blocks the coordinator only
+//! when its request queue is full.
+
+use crate::backend::{ExecutionBackend, ExecutionReport, LaneBusy};
+use crate::pool::{PinnedBufferPool, PoolStats, StagingBuffer};
+use crate::prefetch::{PrefetchPolicy, PrefetchWindow, WindowSelector};
+use crate::workers::{spawn_lane, BusyTimer};
+use clm_core::{gather_rows_into, SystemKind, TrainConfig, Trainer};
+use gs_core::camera::Camera;
+use gs_core::gaussian::GaussianModel;
+use gs_optim::{compute_packed_chunked, AdamWorkItem};
+use gs_render::Image;
+use gs_scene::Dataset;
+use std::time::Instant;
+
+/// Configuration of the threaded backend.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Prefetch lookahead window (0 = synchronous gathers, 1 = double
+    /// buffering).  Under [`PrefetchPolicy::Adaptive`] this seeds the first
+    /// batch.
+    pub prefetch_window: usize,
+    /// Fixed vs. adaptive window selection.
+    pub policy: PrefetchPolicy,
+    /// Threads the CPU Adam lane may chunk one group's update math across
+    /// (1 = the lane's own worker thread does everything).
+    pub adam_threads: usize,
+    /// Capacity of the bounded request queues (≥ 1).  Capacity 1 gives the
+    /// tightest backpressure; larger values let lanes run further ahead of
+    /// their consumers.
+    pub channel_capacity: usize,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            prefetch_window: 2,
+            policy: PrefetchPolicy::Fixed,
+            adam_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            channel_capacity: 2,
+        }
+    }
+}
+
+/// A trainer executing with real worker threads for the communication and
+/// CPU Adam lanes.
+#[derive(Debug)]
+pub struct ThreadedBackend {
+    trainer: Trainer,
+    config: ThreadedConfig,
+    pool: PinnedBufferPool,
+    /// Adaptive-window state fed by each batch's measured fetch/compute
+    /// thread-busy times.
+    window_selector: WindowSelector,
+}
+
+impl ThreadedBackend {
+    /// Creates a threaded backend around an initial model.
+    ///
+    /// # Panics
+    /// Panics if `config.adam_threads` or `config.channel_capacity` is 0.
+    pub fn new(initial_model: GaussianModel, train: TrainConfig, config: ThreadedConfig) -> Self {
+        assert!(config.adam_threads > 0, "adam_threads must be at least 1");
+        assert!(
+            config.channel_capacity > 0,
+            "channel_capacity must be at least 1"
+        );
+        ThreadedBackend {
+            trainer: Trainer::new(initial_model, train),
+            config,
+            pool: PinnedBufferPool::new(),
+            window_selector: WindowSelector::new(),
+        }
+    }
+
+    /// The wrapped trainer (model, config, counters).
+    pub fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// The backend configuration.
+    pub fn config(&self) -> &ThreadedConfig {
+        &self.config
+    }
+
+    /// Pinned staging-pool statistics accumulated so far.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Mean PSNR of the current model over a set of posed images (delegates
+    /// to the trainer).
+    pub fn evaluate_psnr(&self, cameras: &[Camera], targets: &[Image]) -> f32 {
+        self.trainer.evaluate_psnr(cameras, targets)
+    }
+
+    /// Executes one training batch with threaded lanes, returning the
+    /// numeric batch report plus measured wall-clock lane accounting.
+    ///
+    /// # Panics
+    /// Panics if `cameras` and `targets` differ in length or are empty.
+    pub fn run_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> ExecutionReport {
+        assert_eq!(
+            cameras.len(),
+            targets.len(),
+            "need one target image per camera"
+        );
+        assert!(!cameras.is_empty(), "batch must contain at least one view");
+
+        let wall_start = Instant::now();
+        let plan = self.trainer.plan_batch(cameras);
+        let scheduling_seconds = wall_start.elapsed().as_secs_f64();
+
+        let m = plan.num_microbatches();
+        let window = self
+            .window_selector
+            .choose(self.config.policy, self.config.prefetch_window);
+        let pw = PrefetchWindow::new(window, m);
+
+        let overlapped = self.trainer.overlapped();
+        let is_clm = self.trainer.config().system == SystemKind::Clm;
+        let mut grads = gs_optim::GradientBuffer::for_model(self.trainer.model());
+
+        let gather_timer = BusyTimer::new();
+        let adam_timer = BusyTimer::new();
+        let mut compute_seconds = 0.0f64;
+        let mut total_loss = 0.0f32;
+        let mut adam_groups: Vec<Vec<AdamWorkItem>> = Vec::new();
+
+        // Disjoint field borrows: the workers share the trainer read-only
+        // for the batch; the gather worker owns the staging pool.
+        let trainer = &self.trainer;
+        let pool = &mut self.pool;
+        let capacity = self.config.channel_capacity;
+        let adam_threads = self.config.adam_threads;
+        let plan_ref = &plan;
+
+        std::thread::scope(|scope| {
+            // ---- Gather lane (CLM only): stages prefetched rows into
+            // recycled pinned buffers.  Completion queue capacity equals the
+            // window's buffer budget, so at most window+1 staged buffers are
+            // ever in flight.
+            let gather = is_clm.then(|| {
+                let rows = trainer.offloaded().non_critical_rows();
+                let timer = &gather_timer;
+                spawn_lane::<(usize, StagingBuffer), (usize, StagingBuffer), _>(
+                    scope,
+                    capacity,
+                    pw.staging_buffers(),
+                    move |req_rx, resp_tx| {
+                        let stage = |i: usize, pool: &mut PinnedBufferPool| {
+                            let indices = plan_ref.fetched[i].indices();
+                            let buf = timer.time(|| {
+                                let mut buf = pool.acquire(indices.len());
+                                gather_rows_into(rows, indices, &mut buf);
+                                buf
+                            });
+                            // Blocking send = backpressure once the buffer
+                            // budget is staged but unconsumed.
+                            resp_tx.send((i, buf)).is_ok()
+                        };
+                        for i in pw.issuable_after(None) {
+                            if !stage(i, pool) {
+                                return;
+                            }
+                        }
+                        while let Ok((j, buf)) = req_rx.recv() {
+                            pool.release(buf);
+                            for i in pw.issuable_after(Some(j)) {
+                                if !stage(i, pool) {
+                                    return;
+                                }
+                            }
+                        }
+                    },
+                )
+            });
+
+            // ---- CPU Adam lane (overlapped CLM only): computes packed
+            // finalisation groups off the main thread.
+            let adam = overlapped.then(|| {
+                let timer = &adam_timer;
+                let adam_config = trainer.optimizer().config().clone();
+                spawn_lane::<Vec<AdamWorkItem>, Vec<AdamWorkItem>, _>(
+                    scope,
+                    capacity,
+                    capacity,
+                    move |req_rx, resp_tx| {
+                        while let Ok(mut items) = req_rx.recv() {
+                            timer.time(|| {
+                                compute_packed_chunked(&adam_config, &mut items, adam_threads)
+                            });
+                            if resp_tx.send(items).is_err() {
+                                return;
+                            }
+                        }
+                    },
+                )
+            });
+
+            // Empty groups would be pure handoff overhead; skipping them
+            // cannot change numerics (an empty subset step is a no-op).
+            let send_group =
+                |adam: &crate::workers::WorkerLane<Vec<AdamWorkItem>, Vec<AdamWorkItem>>,
+                 indices: &[u32],
+                 grads: &gs_optim::GradientBuffer| {
+                    if !indices.is_empty() {
+                        adam.requests
+                            .send(trainer.pack_adam_group(grads, indices))
+                            .expect("adam lane alive");
+                    }
+                };
+
+            // F_0: Gaussians the batch never touches are final from the
+            // start; their update overlaps the whole pipeline.
+            if let Some(adam) = &adam {
+                send_group(adam, plan_ref.untouched.indices(), &grads);
+            }
+
+            let empty: StagingBuffer = Vec::new();
+            for i in 0..m {
+                let staged = match &gather {
+                    Some(lane) => {
+                        let (j, buf) = lane
+                            .completions
+                            .recv()
+                            .expect("gather lane must outlive the batch");
+                        debug_assert_eq!(j, i, "gathers complete in issue order");
+                        buf
+                    }
+                    None => empty.clone(),
+                };
+
+                let t = Instant::now();
+                total_loss +=
+                    trainer.process_microbatch(plan_ref, i, cameras, targets, &staged, &mut grads);
+                compute_seconds += t.elapsed().as_secs_f64();
+
+                if let Some(adam) = &adam {
+                    // Drain finished groups first so the lane's bounded
+                    // completion queue can never wedge the next send.
+                    while let Ok(items) = adam.completions.try_recv() {
+                        adam_groups.push(items);
+                    }
+                    let group = plan_ref.finalization.finalized_by(i);
+                    send_group(adam, group.indices(), &grads);
+                }
+
+                if let Some(lane) = &gather {
+                    // Return the consumed buffer for recycling and unlock
+                    // the next prefetch slot.
+                    lane.requests.send((i, staged)).expect("gather lane alive");
+                }
+            }
+
+            // Shut the lanes down and drain what is still in flight.
+            if let Some(lane) = gather {
+                drop(lane.requests);
+                assert!(
+                    lane.completions.recv().is_err(),
+                    "every staged micro-batch must already be consumed"
+                );
+            }
+            if let Some(lane) = adam {
+                drop(lane.requests);
+                while let Ok(items) = lane.completions.recv() {
+                    adam_groups.push(items);
+                }
+            }
+        });
+
+        // Deferred write-back of the worker-computed updates (disjoint
+        // groups — order does not matter, but arrival order is deterministic
+        // anyway) and the traffic accounting for the worker-side copies.
+        for items in &adam_groups {
+            self.trainer.apply_adam_results(items);
+        }
+        if is_clm {
+            let staged_rows: usize = plan.fetched.iter().map(|s| s.len()).sum();
+            self.trainer.note_gathered_rows(staged_rows);
+        }
+
+        let batch = self.trainer.finish_batch(&plan, &grads, total_loss);
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+        let comm = gather_timer.busy_seconds();
+        let adam_busy = adam_timer.busy_seconds();
+        if is_clm {
+            self.window_selector.observe(comm, compute_seconds);
+        }
+
+        ExecutionReport {
+            batch,
+            views: cameras.len(),
+            prefetch_window: window,
+            wall_seconds,
+            lanes: LaneBusy {
+                compute: compute_seconds,
+                comm,
+                adam: adam_busy,
+                scheduling: scheduling_seconds,
+            },
+            sim_makespan: None,
+        }
+    }
+
+    /// Trains over the whole dataset once (views grouped into batches in
+    /// trajectory order), returning the per-batch reports.
+    pub fn run_epoch(&mut self, dataset: &Dataset, targets: &[Image]) -> Vec<ExecutionReport> {
+        ExecutionBackend::execute_epoch(self, dataset, targets)
+    }
+}
+
+impl ExecutionBackend for ThreadedBackend {
+    fn backend_name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    fn execute_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> ExecutionReport {
+        self.run_batch(cameras, targets)
+    }
+}

@@ -387,6 +387,40 @@ impl GaussianModel {
         self.sh[i * SH_FLOATS..(i + 1) * SH_FLOATS].copy_from_slice(&row[..SH_FLOATS]);
         self.opacity_logits[i] = row[SH_FLOATS];
     }
+
+    /// Packs **all 59** learnable parameters of Gaussian `i` into one flat
+    /// row: `position ‖ log_scale ‖ rotation(w,x,y,z) ‖ sh ‖ opacity`.
+    ///
+    /// This is the canonical layout the optimiser kernels operate on: one
+    /// contiguous row per Gaussian lets the CPU Adam lane ship work between
+    /// threads as plain memcpys.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn param_row(&self, i: usize) -> [f32; PARAMS_PER_GAUSSIAN] {
+        let mut row = [0.0f32; PARAMS_PER_GAUSSIAN];
+        let p = self.positions[i];
+        let s = self.log_scales[i];
+        row[0..3].copy_from_slice(&p.to_array());
+        row[3..6].copy_from_slice(&s.to_array());
+        row[6..10].copy_from_slice(&self.rotations[i].to_array());
+        row[10..10 + SH_FLOATS].copy_from_slice(self.sh_of(i));
+        row[PARAMS_PER_GAUSSIAN - 1] = self.opacity_logits[i];
+        row
+    }
+
+    /// Writes a flat 59-float parameter row (the [`param_row`](Self::param_row)
+    /// layout) back into Gaussian `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn set_param_row(&mut self, i: usize, row: &[f32; PARAMS_PER_GAUSSIAN]) {
+        self.positions[i] = Vec3::new(row[0], row[1], row[2]);
+        self.log_scales[i] = Vec3::new(row[3], row[4], row[5]);
+        self.rotations[i] = Quat::from([row[6], row[7], row[8], row[9]]);
+        self.sh[i * SH_FLOATS..(i + 1) * SH_FLOATS].copy_from_slice(&row[10..10 + SH_FLOATS]);
+        self.opacity_logits[i] = row[PARAMS_PER_GAUSSIAN - 1];
+    }
 }
 
 impl FromIterator<Gaussian> for GaussianModel {
@@ -519,6 +553,33 @@ mod tests {
         }
         model.set_non_critical_row(0, &row);
         assert_eq!(model.non_critical_row(0), row);
+    }
+
+    #[test]
+    fn param_row_round_trip_and_layout() {
+        let mut model = GaussianModel::new();
+        let mut g = Gaussian::isotropic(Vec3::new(1.0, -2.0, 3.0), 0.3, [0.9, 0.1, 0.4], 0.6);
+        g.rotation = Quat::from_axis_angle(Vec3::new(0.2, 1.0, -0.5), 0.7);
+        for (i, c) in g.sh.iter_mut().enumerate() {
+            *c = 0.01 * i as f32 - 0.2;
+        }
+        model.push(g);
+        model.push(Gaussian::default());
+
+        let row = model.param_row(0);
+        // Layout: position ‖ log_scale ‖ rotation ‖ sh ‖ opacity, matching
+        // the selection-critical/non-critical split end to end.
+        assert_eq!(
+            &row[..SELECTION_CRITICAL_FLOATS],
+            &model.selection_critical_row(0)[..]
+        );
+        assert_eq!(
+            &row[SELECTION_CRITICAL_FLOATS..],
+            &model.non_critical_row(0)[..]
+        );
+
+        model.set_param_row(1, &row);
+        assert_eq!(model.get(1), model.get(0));
     }
 
     #[test]

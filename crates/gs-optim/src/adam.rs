@@ -4,14 +4,27 @@
 //! Gaussian's training state is 4× its parameter count, §2.2).  CLM runs the
 //! Adam update for offloaded Gaussians on a dedicated CPU thread, and — key
 //! to the overlapped-CPU-Adam optimisation (§4.2.2) — is able to update any
-//! *subset* of Gaussians as soon as their gradients are final.  The
-//! [`GaussianAdam`] optimiser therefore exposes both a dense step and a
-//! subset step, with per-Gaussian step counts so both paths produce
-//! identical results.
+//! *subset* of Gaussians as soon as their gradients are final.
+//!
+//! Every update path funnels through one scalar kernel
+//! ([`adam_update_row`]) over the flat 59-float parameter row layout of
+//! [`GaussianModel::param_row`], so the three drivers are bit-identical by
+//! construction:
+//!
+//! * [`GaussianAdam::step_dense`] / [`GaussianAdam::step_subset`] — the
+//!   in-place sequential path the synchronous trainer uses;
+//! * [`GaussianAdam::pack_subset`] → [`compute_packed`] →
+//!   [`GaussianAdam::apply_packed`] — the shippable path: work items are
+//!   plain `memcpy`able rows, so a dedicated CPU Adam worker thread can run
+//!   the expensive math while the main thread keeps rendering, and the
+//!   results are merged back with cheap copies;
+//! * [`compute_packed_chunked`] — the parallel-chunk path: the packed items
+//!   are split across scoped threads so the CPU Adam lane scales with
+//!   cores.
 
 use crate::gradients::GradientBuffer;
 use gs_core::gaussian::{GaussianModel, SH_FLOATS};
-use gs_core::math::{Quat, Vec3};
+use gs_core::PARAMS_PER_GAUSSIAN;
 
 /// Adam hyper-parameters, with the per-attribute learning rates used by the
 /// reference 3DGS implementation.
@@ -63,33 +76,133 @@ impl AdamConfig {
             ..Default::default()
         }
     }
+
+    /// Learning rate of flat parameter `k` in the
+    /// [`param_row`](GaussianModel::param_row) layout.
+    #[inline]
+    fn lr_of(&self, k: usize) -> f32 {
+        match k {
+            0..=2 => self.lr_position,
+            3..=5 => self.lr_scale,
+            6..=9 => self.lr_rotation,
+            k if k < 10 + SH_FLOATS => self.lr_sh,
+            _ => self.lr_opacity,
+        }
+    }
 }
 
-/// Per-Gaussian Adam state (first and second moments for all 59 parameters
-/// plus a per-Gaussian step counter).
-#[derive(Debug, Clone, Default)]
+/// Per-Gaussian Adam state: first and second moments for all 59 parameters
+/// (flat, in [`param_row`](GaussianModel::param_row) layout) plus a
+/// per-Gaussian step counter.  Flat fixed-size arrays keep each row a single
+/// allocation-free `memcpy`, which is what lets the packed path ship rows
+/// between threads cheaply.
+#[derive(Debug, Clone)]
 struct MomentRow {
-    m_position: Vec3,
-    v_position: Vec3,
-    m_scale: Vec3,
-    v_scale: Vec3,
-    m_rotation: [f32; 4],
-    v_rotation: [f32; 4],
-    m_sh: Vec<f32>,
-    v_sh: Vec<f32>,
-    m_opacity: f32,
-    v_opacity: f32,
+    m: [f32; PARAMS_PER_GAUSSIAN],
+    v: [f32; PARAMS_PER_GAUSSIAN],
     step: u64,
 }
 
 impl MomentRow {
     fn new() -> Self {
         MomentRow {
-            m_sh: vec![0.0; SH_FLOATS],
-            v_sh: vec![0.0; SH_FLOATS],
-            ..Default::default()
+            m: [0.0; PARAMS_PER_GAUSSIAN],
+            v: [0.0; PARAMS_PER_GAUSSIAN],
+            step: 0,
         }
     }
+}
+
+/// One Gaussian's worth of Adam work, fully self-contained so it can be
+/// computed on any thread: the parameter row, its gradient, the moment
+/// estimates and the step counter (already incremented for this update).
+///
+/// Produced by [`GaussianAdam::pack_subset`], transformed in place by
+/// [`compute_packed`] / [`compute_packed_chunked`], and merged back by
+/// [`GaussianAdam::apply_packed`].
+#[derive(Debug, Clone)]
+pub struct AdamWorkItem {
+    /// Index of the Gaussian this row belongs to.
+    pub index: u32,
+    /// Step count of this update (1-based, already incremented).
+    pub step: u64,
+    /// Parameter row (updated in place by the compute pass).
+    pub params: [f32; PARAMS_PER_GAUSSIAN],
+    /// Accumulated gradient row.
+    pub grad: [f32; PARAMS_PER_GAUSSIAN],
+    /// First-moment row (updated in place).
+    pub m: [f32; PARAMS_PER_GAUSSIAN],
+    /// Second-moment row (updated in place).
+    pub v: [f32; PARAMS_PER_GAUSSIAN],
+}
+
+/// The Adam update of one flat parameter row.  **Every** optimiser path in
+/// this crate runs exactly this function, which is what makes the
+/// sequential, packed and chunked drivers bit-identical.
+#[inline]
+fn adam_update_row(
+    config: &AdamConfig,
+    step: u64,
+    params: &mut [f32; PARAMS_PER_GAUSSIAN],
+    grad: &[f32; PARAMS_PER_GAUSSIAN],
+    m: &mut [f32; PARAMS_PER_GAUSSIAN],
+    v: &mut [f32; PARAMS_PER_GAUSSIAN],
+) {
+    let t = step as f32;
+    let bias1 = 1.0 - config.beta1.powf(t);
+    let bias2 = 1.0 - config.beta2.powf(t);
+    for k in 0..PARAMS_PER_GAUSSIAN {
+        let g = grad[k];
+        m[k] = config.beta1 * m[k] + (1.0 - config.beta1) * g;
+        v[k] = config.beta2 * v[k] + (1.0 - config.beta2) * g * g;
+        let m_hat = m[k] / bias1;
+        let v_hat = v[k] / bias2;
+        params[k] -= config.lr_of(k) * m_hat / (v_hat.sqrt() + config.eps);
+    }
+}
+
+/// Runs the Adam kernel over every packed work item (single-threaded).
+pub fn compute_packed(config: &AdamConfig, items: &mut [AdamWorkItem]) {
+    for item in items {
+        adam_update_row(
+            config,
+            item.step,
+            &mut item.params,
+            &item.grad,
+            &mut item.m,
+            &mut item.v,
+        );
+    }
+}
+
+/// Runs the Adam kernel over the packed work items split across up to
+/// `threads` scoped worker threads.  Each item is independent, so the result
+/// is bit-identical to [`compute_packed`] regardless of the thread count.
+pub fn compute_packed_chunked(config: &AdamConfig, items: &mut [AdamWorkItem], threads: usize) {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        compute_packed(config, items);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for slice in items.chunks_mut(chunk) {
+            scope.spawn(move || compute_packed(config, slice));
+        }
+    });
+}
+
+/// Flattens a [`GradientBuffer`] row into the
+/// [`param_row`](GaussianModel::param_row) layout.
+fn flat_grad(grads: &GradientBuffer, index: u32) -> [f32; PARAMS_PER_GAUSSIAN] {
+    let g = grads.row(index);
+    let mut row = [0.0f32; PARAMS_PER_GAUSSIAN];
+    row[0..3].copy_from_slice(&g.d_position.to_array());
+    row[3..6].copy_from_slice(&g.d_log_scale.to_array());
+    row[6..10].copy_from_slice(&g.d_rotation);
+    row[10..10 + SH_FLOATS].copy_from_slice(&g.d_sh);
+    row[PARAMS_PER_GAUSSIAN - 1] = g.d_opacity_logit;
+    row
 }
 
 /// Adam optimiser whose state is shaped like a [`GaussianModel`].
@@ -129,15 +242,12 @@ impl GaussianAdam {
     /// Bytes of optimiser state (two moments per parameter), matching the
     /// paper's accounting.
     pub fn state_bytes(&self) -> usize {
-        self.rows.len() * 59 * 2 * 4
+        self.rows.len() * PARAMS_PER_GAUSSIAN * 2 * 4
     }
 
     /// Ensures state exists for `len` Gaussians (used after densification).
     pub fn resize(&mut self, len: usize) {
-        while self.rows.len() < len {
-            self.rows.push(MomentRow::new());
-        }
-        self.rows.truncate(len);
+        self.rows.resize_with(len, MomentRow::new);
     }
 
     /// Applies one Adam step to **every** Gaussian using the gradients in
@@ -167,86 +277,94 @@ impl GaussianAdam {
         self.step_indices(model, grads, indices);
     }
 
+    /// Like [`step_subset`](Self::step_subset) but running the per-row
+    /// kernels across up to `threads` scoped worker threads (the
+    /// parallel-chunk CPU Adam path).  Bit-identical to the sequential step
+    /// for any thread count, since every row is independent.
+    pub fn step_subset_parallel(
+        &mut self,
+        model: &mut GaussianModel,
+        grads: &GradientBuffer,
+        indices: &[u32],
+        threads: usize,
+    ) {
+        assert_eq!(model.len(), grads.len(), "gradient buffer size mismatch");
+        let mut items = self.pack_subset(model, grads, indices);
+        compute_packed_chunked(&self.config, &mut items, threads);
+        self.apply_packed(model, &items);
+    }
+
     fn step_indices(&mut self, model: &mut GaussianModel, grads: &GradientBuffer, indices: &[u32]) {
-        let c = self.config.clone();
         for &idx in indices {
             let i = idx as usize;
             assert!(i < model.len(), "gaussian index {i} out of bounds");
             let row = &mut self.rows[i];
             row.step += 1;
-            let t = row.step as f32;
-            let bias1 = 1.0 - c.beta1.powf(t);
-            let bias2 = 1.0 - c.beta2.powf(t);
+            let mut params = model.param_row(i);
+            let grad = flat_grad(grads, idx);
+            adam_update_row(
+                &self.config,
+                row.step,
+                &mut params,
+                &grad,
+                &mut row.m,
+                &mut row.v,
+            );
+            model.set_param_row(i, &params);
+        }
+    }
 
-            let g = grads.row(idx);
+    /// Packs the Adam work of `indices` into self-contained
+    /// [`AdamWorkItem`]s without touching the model or the optimiser state —
+    /// only cheap copies.  Gaussians beyond the current state length get
+    /// fresh (zero) moments, exactly as the in-place path would create them.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds of the model or the gradient
+    /// buffer does not match the model size.
+    pub fn pack_subset(
+        &self,
+        model: &GaussianModel,
+        grads: &GradientBuffer,
+        indices: &[u32],
+    ) -> Vec<AdamWorkItem> {
+        assert_eq!(model.len(), grads.len(), "gradient buffer size mismatch");
+        indices
+            .iter()
+            .map(|&idx| {
+                let i = idx as usize;
+                assert!(i < model.len(), "gaussian index {i} out of bounds");
+                let (m, v, step) = match self.rows.get(i) {
+                    Some(row) => (row.m, row.v, row.step),
+                    None => ([0.0; PARAMS_PER_GAUSSIAN], [0.0; PARAMS_PER_GAUSSIAN], 0),
+                };
+                AdamWorkItem {
+                    index: idx,
+                    step: step + 1,
+                    params: model.param_row(i),
+                    grad: flat_grad(grads, idx),
+                    m,
+                    v,
+                }
+            })
+            .collect()
+    }
 
-            // Positions.
-            let p = &mut model.positions_mut()[i];
-            adam_update_vec3(
-                p,
-                g.d_position,
-                &mut row.m_position,
-                &mut row.v_position,
-                c.lr_position,
-                &c,
-                bias1,
-                bias2,
-            );
-            // Log-scales.
-            let s = &mut model.log_scales_mut()[i];
-            adam_update_vec3(
-                s,
-                g.d_log_scale,
-                &mut row.m_scale,
-                &mut row.v_scale,
-                c.lr_scale,
-                &c,
-                bias1,
-                bias2,
-            );
-            // Rotations.
-            let q = &mut model.rotations_mut()[i];
-            let mut q_arr = q.to_array();
-            for k in 0..4 {
-                adam_update_scalar(
-                    &mut q_arr[k],
-                    g.d_rotation[k],
-                    &mut row.m_rotation[k],
-                    &mut row.v_rotation[k],
-                    c.lr_rotation,
-                    &c,
-                    bias1,
-                    bias2,
-                );
-            }
-            *q = Quat::from(q_arr);
-            // SH coefficients.
-            let sh_offset = i * SH_FLOATS;
-            for k in 0..SH_FLOATS {
-                let param = &mut model.sh_mut()[sh_offset + k];
-                adam_update_scalar(
-                    param,
-                    g.d_sh[k],
-                    &mut row.m_sh[k],
-                    &mut row.v_sh[k],
-                    c.lr_sh,
-                    &c,
-                    bias1,
-                    bias2,
-                );
-            }
-            // Opacity.
-            let o = &mut model.opacity_logits_mut()[i];
-            adam_update_scalar(
-                o,
-                g.d_opacity_logit,
-                &mut row.m_opacity,
-                &mut row.v_opacity,
-                c.lr_opacity,
-                &c,
-                bias1,
-                bias2,
-            );
+    /// Merges computed work items back into the model and the optimiser
+    /// state (pure copies — all math happened in the compute pass).
+    ///
+    /// # Panics
+    /// Panics if an item's index is out of bounds of the model.
+    pub fn apply_packed(&mut self, model: &mut GaussianModel, items: &[AdamWorkItem]) {
+        self.resize(model.len());
+        for item in items {
+            let i = item.index as usize;
+            assert!(i < model.len(), "gaussian index {i} out of bounds");
+            model.set_param_row(i, &item.params);
+            let row = &mut self.rows[i];
+            row.m = item.m;
+            row.v = item.v;
+            row.step = item.step;
         }
     }
 
@@ -256,70 +374,11 @@ impl GaussianAdam {
     }
 }
 
-fn adam_update_scalar(
-    param: &mut f32,
-    grad: f32,
-    m: &mut f32,
-    v: &mut f32,
-    lr: f32,
-    c: &AdamConfig,
-    bias1: f32,
-    bias2: f32,
-) {
-    *m = c.beta1 * *m + (1.0 - c.beta1) * grad;
-    *v = c.beta2 * *v + (1.0 - c.beta2) * grad * grad;
-    let m_hat = *m / bias1;
-    let v_hat = *v / bias2;
-    *param -= lr * m_hat / (v_hat.sqrt() + c.eps);
-}
-
-#[allow(clippy::too_many_arguments)]
-fn adam_update_vec3(
-    param: &mut Vec3,
-    grad: Vec3,
-    m: &mut Vec3,
-    v: &mut Vec3,
-    lr: f32,
-    c: &AdamConfig,
-    bias1: f32,
-    bias2: f32,
-) {
-    adam_update_scalar(
-        &mut param.x,
-        grad.x,
-        &mut m.x,
-        &mut v.x,
-        lr,
-        c,
-        bias1,
-        bias2,
-    );
-    adam_update_scalar(
-        &mut param.y,
-        grad.y,
-        &mut m.y,
-        &mut v.y,
-        lr,
-        c,
-        bias1,
-        bias2,
-    );
-    adam_update_scalar(
-        &mut param.z,
-        grad.z,
-        &mut m.z,
-        &mut v.z,
-        lr,
-        c,
-        bias1,
-        bias2,
-    );
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use gs_core::gaussian::Gaussian;
+    use gs_core::math::Vec3;
     use gs_render::GaussianGradients;
 
     fn model_of(n: usize) -> GaussianModel {
@@ -349,6 +408,29 @@ mod tests {
             p -= lr * m_hat / (v_hat.sqrt() + eps);
         }
         p
+    }
+
+    /// A richly-varied gradient buffer touching every attribute group.
+    fn varied_grads(n: usize) -> GradientBuffer {
+        let mut buf = GradientBuffer::new(n);
+        for i in 0..n {
+            let f = i as f32 + 1.0;
+            let mut d_sh = [0.0f32; SH_FLOATS];
+            for (k, c) in d_sh.iter_mut().enumerate() {
+                *c = 0.01 * f * (k as f32 - 20.0);
+            }
+            buf.add(
+                i as u32,
+                &GaussianGradients {
+                    d_position: Vec3::new(0.3 * f, -0.1, 0.2 * f),
+                    d_log_scale: Vec3::new(-0.05, 0.02 * f, 0.0),
+                    d_rotation: [0.01 * f, -0.02, 0.03, 0.04 * f],
+                    d_sh,
+                    d_opacity_logit: 0.5 - 0.1 * f,
+                },
+            );
+        }
+        buf
     }
 
     #[test]
@@ -390,16 +472,7 @@ mod tests {
         // Updating {0,1} and then {2,3} with the same gradient buffer must
         // give exactly the same result as one dense step over all four —
         // this is the invariant overlapped CPU Adam relies on (§4.2.2).
-        let grads = {
-            let mut buf = GradientBuffer::new(4);
-            for i in 0..4 {
-                buf.add(
-                    i,
-                    &grad_with_position(Vec3::new(0.3 * (i as f32 + 1.0), -0.1, 0.2)),
-                );
-            }
-            buf
-        };
+        let grads = varied_grads(4);
 
         let mut model_a = model_of(4);
         let mut opt_a = GaussianAdam::new(4, AdamConfig::default());
@@ -411,6 +484,75 @@ mod tests {
         opt_b.step_dense(&mut model_b, &grads);
 
         assert_eq!(model_a, model_b);
+    }
+
+    #[test]
+    fn packed_path_is_bit_identical_to_in_place_step() {
+        // The shippable pack → compute → apply path must be exactly the
+        // sequential step: same parameters, same moments, same step counts.
+        let grads = varied_grads(6);
+        let indices = [0u32, 2, 3, 5];
+
+        let mut model_seq = model_of(6);
+        let mut opt_seq = GaussianAdam::new(6, AdamConfig::default());
+        // Pre-age two rows so packed steps start from non-zero moments.
+        opt_seq.step_subset(&mut model_seq, &grads, &[2, 5]);
+
+        let mut model_packed = model_seq.clone();
+        let mut opt_packed = opt_seq.clone();
+
+        opt_seq.step_subset(&mut model_seq, &grads, &indices);
+
+        let mut items = opt_packed.pack_subset(&model_packed, &grads, &indices);
+        compute_packed(opt_packed.config(), &mut items);
+        opt_packed.apply_packed(&mut model_packed, &items);
+
+        assert_eq!(model_seq, model_packed);
+        for idx in indices {
+            assert_eq!(opt_seq.step_count(idx), opt_packed.step_count(idx));
+        }
+        // One more sequential step on both keeps them in lockstep (moments
+        // were merged back exactly).
+        opt_seq.step_subset(&mut model_seq, &grads, &indices);
+        opt_packed.step_subset(&mut model_packed, &grads, &indices);
+        assert_eq!(model_seq, model_packed);
+    }
+
+    #[test]
+    fn chunked_compute_is_identical_for_any_thread_count() {
+        let grads = varied_grads(17);
+        let indices: Vec<u32> = (0..17).collect();
+        let reference = {
+            let mut model = model_of(17);
+            let mut opt = GaussianAdam::new(17, AdamConfig::default());
+            opt.step_subset(&mut model, &grads, &indices);
+            model
+        };
+        for threads in [1usize, 2, 3, 8, 64] {
+            let mut model = model_of(17);
+            let mut opt = GaussianAdam::new(17, AdamConfig::default());
+            opt.step_subset_parallel(&mut model, &grads, &indices, threads);
+            assert_eq!(model, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pack_subset_handles_unsized_state_like_resize_would() {
+        // Packing rows past the optimiser's current length must behave like
+        // the in-place path (which resizes first): fresh zero moments.
+        let grads = varied_grads(4);
+        let mut model_a = model_of(4);
+        let mut opt_a = GaussianAdam::new(2, AdamConfig::default());
+        let mut items = opt_a.pack_subset(&model_a, &grads, &[1, 3]);
+        compute_packed(opt_a.config(), &mut items);
+        opt_a.apply_packed(&mut model_a, &items);
+
+        let mut model_b = model_of(4);
+        let mut opt_b = GaussianAdam::new(2, AdamConfig::default());
+        opt_b.step_subset(&mut model_b, &grads, &[1, 3]);
+
+        assert_eq!(model_a, model_b);
+        assert_eq!(opt_a.step_count(3), 1);
     }
 
     #[test]

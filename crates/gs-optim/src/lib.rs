@@ -30,5 +30,5 @@
 pub mod adam;
 pub mod gradients;
 
-pub use adam::{AdamConfig, GaussianAdam};
+pub use adam::{compute_packed, compute_packed_chunked, AdamConfig, AdamWorkItem, GaussianAdam};
 pub use gradients::GradientBuffer;

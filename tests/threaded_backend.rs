@@ -1,0 +1,172 @@
+//! Integration tests of the threaded execution backend: worker threads for
+//! the gather and CPU Adam lanes must reproduce the synchronous trainer's
+//! loss/PSNR trajectory **bit-for-bit** across seeds and prefetch windows,
+//! and must survive the tightest possible backpressure configuration —
+//! end-to-end across `clm-runtime`, `clm-core`, `gs-optim` and the gs-*
+//! crates.
+
+use clm_repro::clm_core::{ground_truth_images, SystemKind, TrainConfig, Trainer};
+use clm_repro::clm_runtime::{PrefetchPolicy, ThreadedBackend, ThreadedConfig};
+use clm_repro::gs_scene::{
+    generate_dataset, init_from_point_cloud, DatasetConfig, InitConfig, SceneKind, SceneSpec,
+};
+
+fn setup(
+    seed: u64,
+) -> (
+    clm_repro::gs_scene::Dataset,
+    Vec<clm_repro::gs_render::Image>,
+    clm_repro::gs_core::GaussianModel,
+) {
+    let dataset = generate_dataset(
+        &SceneSpec::of(SceneKind::Rubble),
+        &DatasetConfig {
+            num_gaussians: 400,
+            num_views: 12,
+            width: 40,
+            height: 30,
+            seed,
+        },
+    );
+    let targets = ground_truth_images(&dataset);
+    let init = init_from_point_cloud(
+        &dataset.ground_truth,
+        &InitConfig {
+            num_gaussians: 150,
+            seed: seed + 1,
+            ..Default::default()
+        },
+    );
+    (dataset, targets, init)
+}
+
+#[test]
+fn threaded_backend_is_bit_identical_across_seeds_and_windows() {
+    // Two epochs per configuration: every per-batch loss, the final
+    // parameters and the evaluated PSNR must equal the synchronous
+    // trainer's exactly, for 3 dataset seeds × prefetch windows {0, 1, 2}.
+    for seed in [11u64, 42, 97] {
+        let (dataset, targets, init) = setup(seed);
+        let train = TrainConfig {
+            system: SystemKind::Clm,
+            batch_size: 4,
+            seed,
+            ..Default::default()
+        };
+
+        let mut sync = Trainer::new(init.clone(), train.clone());
+        let mut reference = Vec::new();
+        for _ in 0..2 {
+            reference.extend(sync.train_epoch(&dataset, &targets));
+        }
+
+        for window in [0usize, 1, 2] {
+            let mut threaded = ThreadedBackend::new(
+                init.clone(),
+                train.clone(),
+                ThreadedConfig {
+                    prefetch_window: window,
+                    ..Default::default()
+                },
+            );
+            let mut reports = Vec::new();
+            for _ in 0..2 {
+                reports.extend(threaded.run_epoch(&dataset, &targets));
+            }
+            assert_eq!(reference.len(), reports.len());
+            for (r, t) in reference.iter().zip(&reports) {
+                assert_eq!(
+                    r, &t.batch,
+                    "seed {seed}, window {window}: threaded batch must match the \
+                     synchronous trainer"
+                );
+                assert_eq!(t.prefetch_window, window);
+            }
+            assert_eq!(
+                threaded.trainer().model(),
+                sync.model(),
+                "seed {seed}, window {window}: final parameters must be identical"
+            );
+            assert_eq!(
+                threaded.evaluate_psnr(&dataset.cameras, &targets),
+                sync.evaluate_psnr(&dataset.cameras, &targets),
+                "seed {seed}, window {window}: PSNR trajectory must be identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_backend_survives_single_slot_backpressure() {
+    // The tightest legal pool: capacity-1 queues everywhere and a
+    // single-threaded CPU Adam lane.  Every handoff between the coordinator
+    // and the workers exercises a full queue; the run must neither deadlock
+    // nor change numerics, and the staging pool must stay within the
+    // window's buffer budget.
+    let (dataset, targets, init) = setup(7);
+    let train = TrainConfig {
+        system: SystemKind::Clm,
+        batch_size: 6,
+        ..Default::default()
+    };
+    let mut sync = Trainer::new(init.clone(), train.clone());
+    let mut stressed = ThreadedBackend::new(
+        init,
+        train,
+        ThreadedConfig {
+            prefetch_window: 4,
+            policy: PrefetchPolicy::Fixed,
+            adam_threads: 1,
+            channel_capacity: 1,
+        },
+    );
+    for _ in 0..2 {
+        let reference = sync.train_epoch(&dataset, &targets);
+        let reports = stressed.run_epoch(&dataset, &targets);
+        for (r, t) in reference.iter().zip(&reports) {
+            assert_eq!(r, &t.batch, "backpressure must not change numerics");
+        }
+    }
+    assert_eq!(stressed.trainer().model(), sync.model());
+    let stats = stressed.pool_stats();
+    assert_eq!(stats.outstanding, 0, "all staging buffers returned");
+    assert!(
+        stats.high_water_buffers <= 5,
+        "window 4 must stay within its 5-buffer budget: {stats:?}"
+    );
+}
+
+#[test]
+fn threaded_adaptive_window_reports_choices_without_changing_numerics() {
+    let (dataset, targets, init) = setup(23);
+    let train = TrainConfig {
+        system: SystemKind::Clm,
+        batch_size: 4,
+        ..Default::default()
+    };
+    let mut sync = Trainer::new(init.clone(), train.clone());
+    let mut adaptive = ThreadedBackend::new(
+        init,
+        train,
+        ThreadedConfig {
+            prefetch_window: 2,
+            policy: PrefetchPolicy::Adaptive { min: 1, max: 4 },
+            ..Default::default()
+        },
+    );
+    let reference = sync.train_epoch(&dataset, &targets);
+    let reports = adaptive.run_epoch(&dataset, &targets);
+    for (r, t) in reference.iter().zip(&reports) {
+        assert_eq!(r, &t.batch, "adaptive window must not change numerics");
+        assert!(
+            (1..=4).contains(&t.prefetch_window),
+            "chosen window {} out of the adaptive range",
+            t.prefetch_window
+        );
+    }
+    assert_eq!(
+        reports[0].prefetch_window, 2,
+        "first batch uses the configured seed window"
+    );
+    assert_eq!(adaptive.trainer().model(), sync.model());
+}
