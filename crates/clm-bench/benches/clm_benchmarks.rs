@@ -100,6 +100,7 @@ fn bench_renderer(c: &mut Criterion) {
     let options = RenderOptions {
         background: [0.0; 3],
         visible: Some(visible.indices().to_vec()),
+        ..RenderOptions::default()
     };
     c.bench_function("render_forward_48x36", |b| {
         b.iter(|| black_box(render(&dataset.ground_truth, camera, &options)))

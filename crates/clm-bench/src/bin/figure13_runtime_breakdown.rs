@@ -1,4 +1,9 @@
-//! Regenerates one artefact of the CLM paper's evaluation; see EXPERIMENTS.md.
+//! Figure 13 artefact: per-lane runtime decomposition of CLM vs naive
+//! offloading measured by executing both trainers on the pipelined runtime,
+//! plus the threaded backend's measured compute-lane scaling over band
+//! workers.  Prints one JSON summary line on stdout (bench-harness idiom);
+//! the table-formatted `simulate_batch` variant remains available via the
+//! `paper_figures` binary.
 fn main() {
-    print!("{}", clm_bench::report_figure13_runtime_breakdown());
+    println!("{}", clm_bench::runtime_summary_figure13());
 }

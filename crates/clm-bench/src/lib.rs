@@ -14,8 +14,8 @@ pub mod runtime_reports;
 pub mod wallclock;
 
 pub use runtime_reports::{
-    runtime_summary_figure11, runtime_summary_figure12, runtime_summary_figure15,
-    runtime_summary_table7,
+    runtime_summary_figure11, runtime_summary_figure12, runtime_summary_figure13,
+    runtime_summary_figure15, runtime_summary_table7,
 };
 pub use wallclock::{run_wallclock_bench, WallclockBench, WallclockScale};
 

@@ -14,14 +14,19 @@
 
 use crate::cdf_quantile;
 use clm_core::{ground_truth_images, SystemKind, TrainConfig};
-use clm_runtime::{IterationReport, PipelinedEngine, RuntimeConfig};
+use clm_runtime::{
+    ExecutionBackend, IterationReport, PipelinedEngine, RuntimeConfig, ThreadedBackend,
+    ThreadedConfig,
+};
 use gs_core::gaussian::GaussianModel;
 use gs_render::Image;
 use gs_scene::{
     generate_dataset, init_from_point_cloud, Dataset, DatasetConfig, InitConfig, SceneKind,
     SceneSpec,
 };
-use sim_device::{gpu_idle_rate_cdf, hardware_utilization, mean_gpu_utilization, DeviceProfile};
+use sim_device::{
+    gpu_idle_rate_cdf, hardware_utilization, mean_gpu_utilization, DeviceProfile, Lane, OpKind,
+};
 
 /// Paper-scale Gaussian count the runtime schedules are costed at (the
 /// Rubble model size naive offloading maxes out at on the RTX 4090,
@@ -152,6 +157,110 @@ pub fn runtime_summary_figure12() -> String {
         enhanced,
         clm,
         if enhanced > 0.0 { clm / enhanced } else { 0.0 },
+    )
+}
+
+/// Figure 13 (runtime): per-lane runtime decomposition of CLM vs naive
+/// offloading, derived from **executed** [`IterationReport`] timelines
+/// (paper-scale costing) rather than the closed-form batch simulation, plus
+/// a measured serial-vs-parallel compute-lane scaling section from the
+/// threaded backend: wall-clock compute-lane busy seconds at 1, 2 and 4
+/// band workers, which shrink as threads increase on a multi-core host.
+pub fn runtime_summary_figure13() -> String {
+    let (dataset, targets, init) = runtime_scene();
+
+    // Simulated breakdown: sum the executed timelines of one epoch and
+    // normalise every lane to naive offloading's total makespan, like the
+    // paper's stacked bars.
+    let breakdown = |system: SystemKind| -> (f64, f64, f64, f64, f64) {
+        let reports = run_system(&dataset, &targets, &init, system, 2);
+        let comm: f64 = reports
+            .iter()
+            .map(|r| {
+                r.timeline.time_by_kind(OpKind::LoadParams)
+                    + r.timeline.time_by_kind(OpKind::StoreGrads)
+            })
+            .sum();
+        let compute: f64 = reports
+            .iter()
+            .map(|r| {
+                r.timeline.time_by_kind(OpKind::Forward) + r.timeline.time_by_kind(OpKind::Backward)
+            })
+            .sum();
+        let adam: f64 = reports
+            .iter()
+            .map(|r| r.timeline.busy_time(Lane::CpuAdam))
+            .sum();
+        let sched: f64 = reports
+            .iter()
+            .map(|r| r.timeline.busy_time(Lane::CpuScheduler))
+            .sum();
+        let makespan: f64 = reports.iter().map(IterationReport::makespan).sum();
+        (comm, compute, adam, sched, makespan)
+    };
+    let (n_comm, n_compute, n_adam, n_sched, n_total) = breakdown(SystemKind::NaiveOffload);
+    let (c_comm, c_compute, c_adam, c_sched, c_total) = breakdown(SystemKind::Clm);
+    let norm = |x: f64| if n_total > 0.0 { x / n_total } else { 0.0 };
+
+    // Measured compute-lane scaling: the same scene trained by the
+    // threaded backend with 1, 2 and 4 band workers.  Pure scheduling, so
+    // the numerics are identical; only the lane's busy seconds change.
+    let compute_by_threads: Vec<(usize, f64)> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let mut backend = ThreadedBackend::new(
+                init.clone(),
+                TrainConfig {
+                    system: SystemKind::Clm,
+                    batch_size: BATCH,
+                    ..Default::default()
+                },
+                ThreadedConfig {
+                    prefetch_window: 2,
+                    compute_threads: threads,
+                    ..Default::default()
+                },
+            );
+            let reports = backend.execute_epoch(&dataset, &targets);
+            let busy: f64 = reports.iter().map(|r| r.lanes.compute).sum();
+            (threads, busy)
+        })
+        .collect();
+    let scaling = compute_by_threads
+        .iter()
+        .map(|(t, s)| format!("{{\"threads\":{t},\"compute_busy_s\":{s:.6}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+
+    format!(
+        "{{\"bench\":\"figure13_runtime_breakdown\",\"scene\":\"rubble-synthetic\",\
+         \"device\":\"RTX 4090\",\"paper_scale_gaussians\":{},\
+         \"normalised_to\":\"naive_total\",\
+         \"naive\":{{\"comm\":{:.3},\"compute\":{:.3},\"adam\":{:.3},\
+         \"scheduling\":{:.3},\"total\":{:.3}}},\
+         \"clm\":{{\"comm\":{:.3},\"compute\":{:.3},\"adam\":{:.3},\
+         \"scheduling\":{:.3},\"total\":{:.3}}},\
+         \"clm_speedup\":{:.3},\
+         \"host_cores\":{},\
+         \"measured_compute_lane\":[{}]}}",
+        PAPER_SCALE_GAUSSIANS as u64,
+        norm(n_comm),
+        norm(n_compute),
+        norm(n_adam),
+        norm(n_sched),
+        norm(n_total),
+        norm(c_comm),
+        norm(c_compute),
+        norm(c_adam),
+        norm(c_sched),
+        norm(c_total),
+        if c_total > 0.0 {
+            n_total / c_total
+        } else {
+            0.0
+        },
+        crate::wallclock::detect_host_cores(),
+        scaling,
     )
 }
 
@@ -289,5 +398,26 @@ mod tests {
     fn figure12_and_table7_summaries_are_single_json_lines() {
         assert_single_json_line(&runtime_summary_figure12());
         assert_single_json_line(&runtime_summary_table7());
+    }
+
+    #[test]
+    fn figure13_summary_breaks_down_executed_runtime() {
+        let s = runtime_summary_figure13();
+        assert_single_json_line(&s);
+        // Naive's own makespan normalised to itself is exactly 1.
+        assert!(s.contains("\"normalised_to\":\"naive_total\""), "{s}");
+        assert!(s.contains("\"total\":1.000"), "{s}");
+        // The pipelined CLM schedule beats naive end-to-end.
+        let speedup: f64 = s
+            .split("\"clm_speedup\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|v| v.parse().ok())
+            .expect("summary must contain clm_speedup");
+        assert!(speedup > 1.0, "CLM must out-run naive offloading: {s}");
+        // The measured compute-lane section has all three thread counts.
+        for t in [1, 2, 4] {
+            assert!(s.contains(&format!("{{\"threads\":{t},")), "{s}");
+        }
     }
 }

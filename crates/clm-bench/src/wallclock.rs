@@ -1,25 +1,28 @@
-//! Wall-clock runtime benchmark: synchronous vs simulated vs threaded.
+//! Wall-clock runtime benchmark: synchronous vs simulated vs threaded,
+//! with a serial-vs-parallel **compute dimension** on top.
 //!
 //! Every other artefact in this crate reports *simulated* device time; this
-//! module is the repo's first **measured** performance baseline.  It trains
-//! the same scene from the same initial model with three execution
-//! strategies —
+//! module is the repo's **measured** performance baseline.  It trains the
+//! same scene from the same initial model with four execution strategies —
 //!
 //! 1. `synchronous` — `clm_core::Trainer::train_epoch`, every lane inline;
 //! 2. `simulated` — `clm_runtime::PipelinedEngine`, lanes inline plus
 //!    discrete-event costing (the numerics oracle);
 //! 3. `threaded` — `clm_runtime::ThreadedBackend`, gathers and CPU Adam on
-//!    real worker threads;
+//!    real worker threads, render compute serial (`compute_threads = 1`);
+//! 4. `threaded_parallel` — the same backend with the banded render
+//!    compute fanned out over `compute_threads` workers;
 //!
-//! — verifies the three final models are **bit-identical**, and reports
-//! wall-clock throughput, speedups and per-lane busy fractions as a
-//! single-line JSON object (written to `BENCH_runtime.json` by the
-//! `bench_runtime` binary).  On a multi-core host the threaded backend
-//! should out-run both single-threaded strategies; on a single core it
-//! degrades to roughly synchronous speed (the overlap has nowhere to run),
-//! which is why the CI smoke gate is a floor on the threaded/synchronous
-//! ratio (0.9 on multi-core hosts, 0.75 on a single core) rather than a
-//! strict win.
+//! — verifies all four final models are **bit-identical** (the compute
+//! lane's thread count is pure scheduling), and reports wall-clock
+//! throughput, speedups, per-lane busy fractions and the compute-lane
+//! serial/parallel speedup as a single-line JSON object (written to
+//! `BENCH_runtime.json` by the `bench_runtime` binary).  On a multi-core
+//! host the threaded backend should strictly out-run the single-threaded
+//! strategies and the parallel compute lane should shrink with cores; on a
+//! single core both degrade to roughly synchronous speed, which is why the
+//! CI smoke gate is core-count-conditional (a strict `> 1×` win on ≥ 2
+//! cores, a 0.9× coordination-overhead floor on one).
 
 use clm_core::{ground_truth_images, SystemKind, TrainConfig, Trainer};
 use clm_runtime::{
@@ -56,10 +59,15 @@ pub struct WallclockScale {
     pub epochs: usize,
     /// Prefetch lookahead window.
     pub prefetch_window: usize,
+    /// Band workers for the `threaded_parallel` compute dimension
+    /// (0 = auto-detect the host's available parallelism).
+    pub compute_threads: usize,
 }
 
 impl WallclockScale {
     /// Tiny configuration for CI smoke runs (a few seconds on one core).
+    /// The 64-row height splits into four equal 16-pixel bands, so four
+    /// compute workers get balanced work.
     pub fn smoke() -> Self {
         WallclockScale {
             label: "smoke",
@@ -67,10 +75,11 @@ impl WallclockScale {
             model_gaussians: 420,
             views: 16,
             width: 80,
-            height: 60,
+            height: 64,
             batch_size: 8,
             epochs: 3,
             prefetch_window: 2,
+            compute_threads: 0,
         }
     }
 
@@ -82,10 +91,11 @@ impl WallclockScale {
             model_gaussians: 700,
             views: 24,
             width: 96,
-            height: 72,
+            height: 80,
             batch_size: 8,
             epochs: 4,
             prefetch_window: 2,
+            compute_threads: 0,
         }
     }
 
@@ -101,6 +111,18 @@ impl WallclockScale {
             batch_size: 4,
             epochs: 1,
             prefetch_window: 1,
+            compute_threads: 2,
+        }
+    }
+
+    /// The band-worker count the `threaded_parallel` run actually uses:
+    /// the configured `compute_threads`, or the host's detected
+    /// parallelism when 0.
+    pub fn effective_compute_threads(&self) -> usize {
+        if self.compute_threads > 0 {
+            self.compute_threads
+        } else {
+            detect_host_cores()
         }
     }
 }
@@ -127,6 +149,11 @@ pub struct BackendMeasurement {
     /// are not commensurable with host wall time), and 0 for `synchronous`
     /// (no lane accounting at all).
     pub lane_denominator_s: f64,
+    /// Band workers driving the render compute lane (1 = serial).
+    pub compute_threads: usize,
+    /// Host cores detected when this entry ran (recorded per entry so
+    /// artefacts aggregated across runners stay interpretable).
+    pub host_cores: usize,
     /// Prefetch window used on each batch (empty when not applicable).
     pub windows: Vec<usize>,
 }
@@ -137,6 +164,7 @@ impl BackendMeasurement {
         wall_seconds: f64,
         views: usize,
         lane_denominator_s: f64,
+        compute_threads: usize,
         reports: &[clm_runtime::ExecutionReport],
     ) -> Self {
         BackendMeasurement {
@@ -151,6 +179,8 @@ impl BackendMeasurement {
             adam_busy_s: reports.iter().map(|r| r.lanes.adam).sum(),
             compute_busy_s: reports.iter().map(|r| r.lanes.compute).sum(),
             lane_denominator_s,
+            compute_threads,
+            host_cores: detect_host_cores(),
             windows: reports.iter().map(|r| r.prefetch_window).collect(),
         }
     }
@@ -162,11 +192,15 @@ impl BackendMeasurement {
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        // Six decimals on the lane seconds/fractions: the comm and Adam
+        // lanes are microseconds-per-batch at bench scale, and three
+        // decimals used to flatten them to a misleading 0.000.
         format!(
             "{{\"name\":\"{}\",\"wall_s\":{:.4},\"images_per_s\":{:.3},\
-             \"comm_busy_s\":{:.4},\"adam_busy_s\":{:.4},\"compute_busy_s\":{:.4},\
+             \"comm_busy_s\":{:.6},\"adam_busy_s\":{:.6},\"compute_busy_s\":{:.6},\
              \"lane_denominator_s\":{:.4},\
-             \"busy_fractions\":{{\"comm\":{:.3},\"adam\":{:.3},\"compute\":{:.3}}},\
+             \"compute_threads\":{},\"host_cores\":{},\
+             \"busy_fractions\":{{\"comm\":{:.6},\"adam\":{:.6},\"compute\":{:.6}}},\
              \"windows\":[{}]}}",
             self.name,
             self.wall_seconds,
@@ -175,6 +209,8 @@ impl BackendMeasurement {
             self.adam_busy_s,
             self.compute_busy_s,
             self.lane_denominator_s,
+            self.compute_threads,
+            self.host_cores,
             self.busy_fraction(self.comm_busy_s),
             self.busy_fraction(self.adam_busy_s),
             self.busy_fraction(self.compute_busy_s),
@@ -198,9 +234,12 @@ pub struct WallclockBench {
     pub scale: WallclockScale,
     /// Host cores available to the threaded backend.
     pub host_cores: usize,
-    /// Measurements in `[synchronous, simulated, threaded]` order.
+    /// Band workers the `threaded_parallel` entry ran with.
+    pub compute_threads: usize,
+    /// Measurements in `[synchronous, simulated, threaded,
+    /// threaded_parallel]` order.
     pub backends: Vec<BackendMeasurement>,
-    /// Whether all three final models were bit-identical.
+    /// Whether all four final models were bit-identical.
     pub numerics_match: bool,
 }
 
@@ -229,6 +268,25 @@ impl WallclockBench {
         )
     }
 
+    /// Compute-lane throughput of the parallel run over the serial run:
+    /// both trained the same images, so the ratio of their compute-lane
+    /// busy seconds *is* the lane's throughput speedup.  This is the
+    /// serial-vs-parallel compute dimension of the artefact.
+    pub fn compute_speedup_parallel_vs_serial(&self) -> f64 {
+        ratio(
+            self.backend("threaded").compute_busy_s,
+            self.backend("threaded_parallel").compute_busy_s,
+        )
+    }
+
+    /// Parallel-compute wall-clock throughput over synchronous throughput.
+    pub fn speedup_parallel_vs_sync(&self) -> f64 {
+        ratio(
+            self.backend("threaded_parallel").images_per_s,
+            self.backend("synchronous").images_per_s,
+        )
+    }
+
     /// Serialises the result as a single-line JSON object.
     pub fn to_json(&self) -> String {
         let backends = self
@@ -239,13 +297,17 @@ impl WallclockBench {
             .join(",");
         format!(
             "{{\"bench\":\"runtime_wallclock\",\"scale\":\"{}\",\"host_cores\":{},\
+             \"compute_threads\":{},\
              \"views_per_epoch\":{},\"epochs\":{},\"batch_size\":{},\"prefetch_window\":{},\
              \"model_gaussians\":{},\"resolution\":\"{}x{}\",\
              \"backends\":[{}],\
              \"speedup_threaded_vs_sync\":{:.3},\"speedup_threaded_vs_simulated\":{:.3},\
+             \"speedup_parallel_vs_sync\":{:.3},\
+             \"compute_speedup_parallel_vs_serial\":{:.3},\
              \"numerics_match\":{}}}",
             self.scale.label,
             self.host_cores,
+            self.compute_threads,
             self.scale.views,
             self.scale.epochs,
             self.scale.batch_size,
@@ -256,9 +318,18 @@ impl WallclockBench {
             backends,
             self.speedup_threaded_vs_sync(),
             self.speedup_threaded_vs_simulated(),
+            self.speedup_parallel_vs_sync(),
+            self.compute_speedup_parallel_vs_serial(),
             self.numerics_match,
         )
     }
+}
+
+/// Detected host parallelism (1 when detection fails).
+pub fn detect_host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn ratio(num: f64, den: f64) -> f64 {
@@ -307,6 +378,7 @@ fn train_config(scale: &WallclockScale) -> TrainConfig {
 pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
     let (dataset, targets, init) = bench_scene(&scale);
     let total_views = scale.views * scale.epochs;
+    let compute_threads = scale.effective_compute_threads();
 
     // Warmup: one discarded epoch on a throwaway trainer, so first-run
     // costs (page faults, allocator growth, frequency ramp) are not charged
@@ -331,6 +403,8 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
         adam_busy_s: 0.0,
         compute_busy_s: 0.0,
         lane_denominator_s: 0.0,
+        compute_threads: 1,
+        host_cores: detect_host_cores(),
         windows: Vec::new(),
     };
 
@@ -346,6 +420,7 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
             policy: PrefetchPolicy::Fixed,
             cost_scale: 45_200_000.0 / init.len() as f64,
             pixel_cost_scale: (1920.0 * 1080.0) / (scale.width as f64 * scale.height as f64),
+            compute_threads: 0,
         },
     );
     let (sim_reports, sim_wall) = timed_epochs(&mut simulated, &dataset, &targets, scale.epochs);
@@ -357,12 +432,14 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
         sim_wall,
         total_views,
         sim_makespan,
+        1,
         &sim_reports,
     );
 
-    // 3. Threaded backend — real worker threads for comm + CPU Adam.
+    // 3. Threaded backend — real worker threads for comm + CPU Adam, the
+    // render compute serial.
     let mut threaded = ThreadedBackend::new(
-        init,
+        init.clone(),
         train_config(&scale),
         ThreadedConfig {
             prefetch_window: scale.prefetch_window,
@@ -370,18 +447,45 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
         },
     );
     let (thr_reports, thr_wall) = timed_epochs(&mut threaded, &dataset, &targets, scale.epochs);
-    let thr_measure =
-        BackendMeasurement::from_reports("threaded", thr_wall, total_views, thr_wall, &thr_reports);
+    let thr_measure = BackendMeasurement::from_reports(
+        "threaded",
+        thr_wall,
+        total_views,
+        thr_wall,
+        1,
+        &thr_reports,
+    );
 
-    let numerics_match =
-        sync.model() == simulated.trainer().model() && sync.model() == threaded.trainer().model();
+    // 4. Threaded backend with the banded compute lane fanned out — the
+    // serial-vs-parallel compute dimension.
+    let mut parallel = ThreadedBackend::new(
+        init,
+        train_config(&scale),
+        ThreadedConfig {
+            prefetch_window: scale.prefetch_window,
+            compute_threads,
+            ..Default::default()
+        },
+    );
+    let (par_reports, par_wall) = timed_epochs(&mut parallel, &dataset, &targets, scale.epochs);
+    let par_measure = BackendMeasurement::from_reports(
+        "threaded_parallel",
+        par_wall,
+        total_views,
+        par_wall,
+        compute_threads,
+        &par_reports,
+    );
+
+    let numerics_match = sync.model() == simulated.trainer().model()
+        && sync.model() == threaded.trainer().model()
+        && sync.model() == parallel.trainer().model();
 
     WallclockBench {
         scale,
-        host_cores: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        backends: vec![sync_measure, sim_measure, thr_measure],
+        host_cores: detect_host_cores(),
+        compute_threads,
+        backends: vec![sync_measure, sim_measure, thr_measure, par_measure],
         numerics_match,
     }
 }
@@ -419,6 +523,7 @@ pub fn looks_like_bench_json(s: &str) -> bool {
         && depth_balanced
         && t.contains("\"bench\":\"runtime_wallclock\"")
         && t.contains("\"speedup_threaded_vs_sync\":")
+        && t.contains("\"compute_speedup_parallel_vs_serial\":")
         && t.contains("\"numerics_match\":")
 }
 
@@ -431,20 +536,28 @@ mod tests {
         let bench = run_wallclock_bench(WallclockScale::test());
         assert!(
             bench.numerics_match,
-            "all three backends must train identically"
+            "all four backends must train identically"
         );
-        assert_eq!(bench.backends.len(), 3);
+        assert_eq!(bench.backends.len(), 4);
         for b in &bench.backends {
             assert!(b.wall_seconds > 0.0, "{}", b.name);
             assert!(b.images_per_s > 0.0, "{}", b.name);
+            assert!(b.host_cores >= 1, "{}", b.name);
         }
         assert!(bench.speedup_threaded_vs_sync() > 0.0);
+        assert!(bench.compute_speedup_parallel_vs_serial() > 0.0);
+        assert_eq!(bench.backend("threaded").compute_threads, 1);
+        assert_eq!(bench.backend("threaded_parallel").compute_threads, 2);
         let json = bench.to_json();
         assert!(looks_like_bench_json(&json), "malformed: {json}");
         assert!(json.contains("\"numerics_match\":true"));
-        // The threaded backend actually used its gather lane.
-        assert!(bench.backend("threaded").comm_busy_s > 0.0);
-        assert!(bench.backend("threaded").adam_busy_s > 0.0);
+        // The threaded backends actually used their gather and Adam lanes
+        // (the lane accounting these fields report used to flatline at 0).
+        for name in ["threaded", "threaded_parallel"] {
+            assert!(bench.backend(name).comm_busy_s > 0.0, "{name}");
+            assert!(bench.backend(name).adam_busy_s > 0.0, "{name}");
+            assert!(bench.backend(name).compute_busy_s > 0.0, "{name}");
+        }
     }
 
     #[test]
@@ -455,5 +568,11 @@ mod tests {
             "{\"bench\":\"runtime_wallclock\"}\n{\"x\":1}"
         ));
         assert!(!looks_like_bench_json("{\"bench\":\"other\"}"));
+        // The pre-compute-dimension shape (no serial-vs-parallel key) is
+        // rejected too — the CI gate must not pass on stale artefacts.
+        assert!(!looks_like_bench_json(
+            "{\"bench\":\"runtime_wallclock\",\"speedup_threaded_vs_sync\":1.0,\
+             \"numerics_match\":true}"
+        ));
     }
 }

@@ -19,7 +19,10 @@ use gs_core::gaussian::{GaussianModel, NON_CRITICAL_FLOATS};
 use gs_core::visibility::VisibilitySet;
 use gs_core::PARAMS_PER_GAUSSIAN;
 use gs_optim::{AdamConfig, AdamWorkItem, GaussianAdam, GradientBuffer};
-use gs_render::{l1_loss, psnr, render, render_backward, Image, RenderOptions};
+use gs_render::{
+    l1_loss, parallel::parallel_map, psnr, render, render_backward, Image, RenderGradients,
+    RenderOptions,
+};
 use gs_scene::Dataset;
 
 /// Configuration of a functional training run.
@@ -39,6 +42,16 @@ pub struct TrainConfig {
     pub gaussian_caching: bool,
     /// Enable overlapped (early-finalised) CPU Adam (CLM only).
     pub overlapped_adam: bool,
+    /// Worker threads for the banded render forward/backward (clamped to at
+    /// least 1).  Pure scheduling: the training trajectory is bit-identical
+    /// for every value (`gs_render`'s band geometry never depends on it).
+    pub compute_threads: usize,
+    /// Second parallelism level: render the batch's views concurrently
+    /// (each view serial inside) instead of band-parallel within one view.
+    /// Views are independent until gradient accumulation, which
+    /// [`Trainer::train_batch`] replays in the exact serial order, so this
+    /// is bit-identical too.  Only takes effect when `compute_threads > 1`.
+    pub view_parallel: bool,
     /// RNG seed for ordering.
     pub seed: u64,
 }
@@ -53,6 +66,8 @@ impl Default for TrainConfig {
             background: [0.0; 3],
             gaussian_caching: true,
             overlapped_adam: true,
+            compute_threads: 1,
+            view_parallel: false,
             seed: 0,
         }
     }
@@ -330,6 +345,49 @@ impl Trainer {
         staging: &[[f32; NON_CRITICAL_FLOATS]],
         grads: &mut GradientBuffer,
     ) -> f32 {
+        let (loss, render_grads) =
+            self.render_microbatch(plan, micro_idx, cameras, targets, staging);
+        grads.accumulate_render(&render_grads);
+        loss
+    }
+
+    /// The compute half of [`process_microbatch`]: renders micro-batch
+    /// `micro_idx`'s view (band-parallel on `self.config.compute_threads`
+    /// workers) and returns its L1 loss plus the raw render gradients
+    /// **without** touching the shared gradient buffer.  Pure with respect
+    /// to the trainer, so independent micro-batches may run concurrently;
+    /// the caller must still accumulate the returned gradients in the
+    /// serial micro-batch order to stay bit-identical.
+    pub fn render_microbatch(
+        &self,
+        plan: &BatchPlan,
+        micro_idx: usize,
+        cameras: &[Camera],
+        targets: &[Image],
+        staging: &[[f32; NON_CRITICAL_FLOATS]],
+    ) -> (f32, RenderGradients) {
+        self.render_microbatch_with_threads(
+            plan,
+            micro_idx,
+            cameras,
+            targets,
+            staging,
+            self.config.compute_threads,
+        )
+    }
+
+    /// [`render_microbatch`](Self::render_microbatch) with an explicit band
+    /// thread count, so the view-parallel batch path can keep each view
+    /// serial inside while the view level owns the workers.
+    fn render_microbatch_with_threads(
+        &self,
+        plan: &BatchPlan,
+        micro_idx: usize,
+        cameras: &[Camera],
+        targets: &[Image],
+        staging: &[[f32; NON_CRITICAL_FLOATS]],
+        compute_threads: usize,
+    ) -> (f32, RenderGradients) {
         let view_idx = plan.order[micro_idx];
         let camera = &cameras[view_idx];
         let target = &targets[view_idx];
@@ -361,12 +419,13 @@ impl Trainer {
             &RenderOptions {
                 background: self.config.background,
                 visible,
+                compute_threads,
+                ..RenderOptions::default()
             },
         );
         let loss = l1_loss(&out.image, target);
         let render_grads = render_backward(&self.model, camera, &out.aux, &loss.d_image);
-        grads.accumulate_render(&render_grads);
-        loss.value
+        (loss.value, render_grads)
     }
 
     /// Applies the optimiser to every Gaussian finalised by micro-batch
@@ -441,6 +500,11 @@ impl Trainer {
     /// discrete-event scheduling, which is why the two are numerically
     /// identical.
     ///
+    /// With `view_parallel` enabled (and `compute_threads > 1`) the views
+    /// render concurrently instead — see
+    /// [`train_batch_view_parallel`](Self::train_batch_view_parallel) for
+    /// why that is bit-identical as well.
+    ///
     /// # Panics
     /// Panics if `cameras` and `targets` differ in length or are empty.
     pub fn train_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> BatchReport {
@@ -452,6 +516,9 @@ impl Trainer {
         assert!(!cameras.is_empty(), "batch must contain at least one view");
 
         let plan = self.plan_batch(cameras);
+        if self.config.view_parallel && self.config.compute_threads > 1 && plan.order.len() > 1 {
+            return self.train_batch_view_parallel(&plan, cameras, targets);
+        }
         let mut grads = GradientBuffer::for_model(&self.model);
         let mut staging = Vec::new();
         let mut total_loss = 0.0f32;
@@ -464,6 +531,80 @@ impl Trainer {
             self.apply_finalized(&plan, micro_idx, &grads);
         }
         self.finish_batch(&plan, &grads, total_loss)
+    }
+
+    /// Executes one planned batch with its views rendered concurrently —
+    /// the second parallelism level above the banded per-view kernels.
+    ///
+    /// Bit-identical to the serial path by the same finalisation argument
+    /// the pipelined backends rely on:
+    ///
+    /// * renders read only their own micro-batch's visibility set, and a
+    ///   Gaussian finalised by micro-batch `i` is never in a later set, so
+    ///   rendering every view against the batch-start parameters sees
+    ///   exactly the values the serial path's interleaved renders see;
+    /// * losses, gradient accumulations and `apply_finalized` steps are
+    ///   then **replayed in the serial micro-batch order**, so every
+    ///   floating-point reduction happens in the same order as the serial
+    ///   path.
+    ///
+    /// The batch is processed in **waves of `compute_threads` views**, so
+    /// at most `compute_threads` staging buffers are ever live — the
+    /// view level must not quietly abandon the bounded-staging-memory
+    /// property the prefetch machinery exists to provide.  Applying a
+    /// wave's finalisation groups before the next wave renders is safe for
+    /// the same reason the serial interleaving is: finalised Gaussians are
+    /// never in any later micro-batch's visibility or fetch set.
+    ///
+    /// Each view renders with one band thread (the view level owns the
+    /// workers); band count vs. view count never changes the numerics, only
+    /// the schedule.
+    fn train_batch_view_parallel(
+        &mut self,
+        plan: &BatchPlan,
+        cameras: &[Camera],
+        targets: &[Image],
+    ) -> BatchReport {
+        let m = plan.num_microbatches();
+        let wave = self.config.compute_threads.max(1);
+        let mut grads = GradientBuffer::for_model(&self.model);
+        self.begin_batch(plan, &grads);
+
+        let mut total_loss = 0.0f32;
+        let mut start = 0;
+        while start < m {
+            let end = (start + wave).min(m);
+            // Stage this wave's micro-batches (same gathers, same traffic
+            // accounting, same staleness assertions as the serial path).
+            let mut staged: Vec<Vec<[f32; NON_CRITICAL_FLOATS]>> = Vec::with_capacity(end - start);
+            for micro_idx in start..end {
+                let mut buf = Vec::new();
+                self.stage_microbatch(plan, micro_idx, &mut buf);
+                staged.push(buf);
+            }
+
+            let trainer = &*self;
+            let results: Vec<(f32, RenderGradients)> = parallel_map(wave, end - start, |offset| {
+                trainer.render_microbatch_with_threads(
+                    plan,
+                    start + offset,
+                    cameras,
+                    targets,
+                    &staged[offset],
+                    1,
+                )
+            });
+
+            // Replay the serial order: accumulate micro-batch i, then apply
+            // its finalisation group, exactly as the sequential loop would.
+            for (offset, (loss, render_grads)) in results.iter().enumerate() {
+                total_loss += loss;
+                grads.accumulate_render(render_grads);
+                self.apply_finalized(plan, start + offset, &grads);
+            }
+            start = end;
+        }
+        self.finish_batch(plan, &grads, total_loss)
     }
 
     /// Trains over the whole dataset once (views grouped into batches in
@@ -492,6 +633,8 @@ impl Trainer {
                 &RenderOptions {
                     background: self.config.background,
                     visible: None,
+                    compute_threads: self.config.compute_threads,
+                    ..RenderOptions::default()
                 },
             );
             total += psnr(&out.image, target).min(60.0);
@@ -513,6 +656,7 @@ pub fn ground_truth_images(dataset: &Dataset) -> Vec<Image> {
                 &RenderOptions {
                     background: [0.0; 3],
                     visible: None,
+                    ..RenderOptions::default()
                 },
             )
             .image
@@ -702,6 +846,44 @@ mod tests {
             "loss did not decrease: {first_loss:?} -> {last_loss}"
         );
         assert!(after > before, "PSNR did not improve: {before} -> {after}");
+    }
+
+    #[test]
+    fn parallel_compute_never_changes_training() {
+        // Both parallelism levels — banded within a view and view-parallel
+        // within a batch — are pure scheduling: batch reports and final
+        // parameters must equal the serial trainer's bit for bit.
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let base = TrainConfig {
+            system: SystemKind::Clm,
+            batch_size: 6,
+            ..Default::default()
+        };
+        let mut serial = Trainer::new(init.clone(), base.clone());
+        let mut banded = Trainer::new(
+            init.clone(),
+            TrainConfig {
+                compute_threads: 4,
+                ..base.clone()
+            },
+        );
+        let mut view_parallel = Trainer::new(
+            init,
+            TrainConfig {
+                compute_threads: 3,
+                view_parallel: true,
+                ..base
+            },
+        );
+        let r_serial = serial.train_batch(cams, tgts);
+        let r_banded = banded.train_batch(cams, tgts);
+        let r_views = view_parallel.train_batch(cams, tgts);
+        assert_eq!(r_serial, r_banded);
+        assert_eq!(r_serial, r_views);
+        assert_eq!(serial.model(), banded.model());
+        assert_eq!(serial.model(), view_parallel.model());
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct RuntimeConfig {
     pub cost_scale: f64,
     /// Multiplier applied to pixel counts when costing render operations.
     pub pixel_cost_scale: f64,
+    /// Worker threads for the banded render compute (0 = inherit the
+    /// trainer's `TrainConfig::compute_threads`).  Pure host scheduling:
+    /// the simulated timeline costs and the numerics are unaffected; only
+    /// the wall-clock time of executing the lanes inline shrinks.
+    pub compute_threads: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -66,6 +71,7 @@ impl Default for RuntimeConfig {
             policy: PrefetchPolicy::Fixed,
             cost_scale: 1.0,
             pixel_cost_scale: 1.0,
+            compute_threads: 0,
         }
     }
 }
@@ -93,6 +99,10 @@ impl PipelinedEngine {
             config.pixel_cost_scale > 0.0,
             "pixel_cost_scale must be positive"
         );
+        let mut train = train;
+        if config.compute_threads > 0 {
+            train.compute_threads = config.compute_threads;
+        }
         PipelinedEngine {
             trainer: Trainer::new(initial_model, train),
             config,
@@ -189,6 +199,7 @@ impl PipelinedEngine {
         // fetch/compute balance.
         if self.trainer.config().system == SystemKind::Clm {
             self.window_selector.observe(
+                self.config.policy,
                 timeline.time_by_kind(OpKind::LoadParams),
                 timeline.time_by_kind(OpKind::Forward) + timeline.time_by_kind(OpKind::Backward),
             );

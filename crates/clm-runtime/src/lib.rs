@@ -14,8 +14,8 @@
 //!   high-water accounting (one buffer per prefetch slot);
 //! * [`PrefetchWindow`] — the lookahead policy (0 = synchronous, 1 = double
 //!   buffering, ≥ batch size = unconstrained) and [`PrefetchPolicy`] — how
-//!   the window is chosen per batch (fixed, or adapted to the measured
-//!   fetch/compute ratio);
+//!   the window is chosen per batch (fixed, adapted to the last batch's
+//!   measured fetch/compute ratio, or to its EWMA-smoothed average);
 //! * [`PipelinedEngine`] / [`RuntimeConfig`] — the simulated backend;
 //! * [`ThreadedBackend`] / [`ThreadedConfig`] — the threaded backend: the
 //!   gather and CPU Adam lanes run on dedicated worker threads
@@ -418,6 +418,82 @@ mod tests {
         }
         assert_eq!(windows[0], 2, "first batch uses the configured seed window");
         assert_eq!(fixed.trainer().model(), adaptive.trainer().model());
+    }
+
+    #[test]
+    fn parallel_compute_threads_keep_backends_bit_identical() {
+        // The banded compute lane is pure scheduling in every backend: the
+        // threaded backend at 4 band threads and the simulated engine at 3
+        // must match the serial threaded backend bit for bit.
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let train = TrainConfig::default();
+        let mut serial = ThreadedBackend::new(
+            init.clone(),
+            train.clone(),
+            ThreadedConfig {
+                prefetch_window: 2,
+                ..Default::default()
+            },
+        );
+        let mut parallel = ThreadedBackend::new(
+            init.clone(),
+            train.clone(),
+            ThreadedConfig {
+                prefetch_window: 2,
+                compute_threads: 4,
+                ..Default::default()
+            },
+        );
+        let mut sim_parallel = PipelinedEngine::new(
+            init,
+            train,
+            RuntimeConfig {
+                compute_threads: 3,
+                ..runtime_config(2)
+            },
+        );
+        assert_eq!(parallel.trainer().config().compute_threads, 4);
+        for _ in 0..2 {
+            let a = serial.run_batch(cams, tgts);
+            let b = parallel.run_batch(cams, tgts);
+            let c = sim_parallel.run_batch(cams, tgts);
+            assert_eq!(a.batch, b.batch);
+            assert_eq!(a.batch, c.batch);
+        }
+        assert_eq!(serial.trainer().model(), parallel.trainer().model());
+        assert_eq!(serial.trainer().model(), sim_parallel.trainer().model());
+    }
+
+    #[test]
+    fn ewma_policy_changes_window_not_numerics() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let mut fixed =
+            PipelinedEngine::new(init.clone(), TrainConfig::default(), runtime_config(2));
+        let mut ewma = PipelinedEngine::new(
+            init.clone(),
+            TrainConfig::default(),
+            RuntimeConfig {
+                prefetch_window: 2,
+                policy: PrefetchPolicy::Ewma {
+                    alpha: 0.3,
+                    min: 1,
+                    max: 8,
+                },
+                cost_scale: 1000.0,
+                ..Default::default()
+            },
+        );
+        for _ in 0..3 {
+            let f = fixed.run_batch(cams, tgts);
+            let e = ewma.run_batch(cams, tgts);
+            assert_eq!(f.batch, e.batch, "EWMA window must not change numerics");
+            assert!(e.prefetch_window >= 1 && e.prefetch_window <= 8);
+        }
+        assert_eq!(fixed.trainer().model(), ewma.trainer().model());
     }
 
     #[test]

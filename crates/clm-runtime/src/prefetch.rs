@@ -17,7 +17,7 @@
 //!   the only limit.
 
 /// How the runtime picks the prefetch lookahead window for each batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum PrefetchPolicy {
     /// Always use the configured `prefetch_window`.
     #[default]
@@ -33,21 +33,38 @@ pub enum PrefetchPolicy {
         /// Largest window the policy may choose.
         max: usize,
     },
+    /// Like [`Adaptive`](Self::Adaptive), but derives the window from an
+    /// exponentially-weighted moving average of the fetch/compute ratio
+    /// instead of the last batch alone: after each batch the tracked ratio
+    /// becomes `alpha * measured + (1 - alpha) * previous`.  A small
+    /// `alpha` makes the window robust against one-batch spikes (a stray
+    /// slow gather or a preempted compute thread) that would whipsaw the
+    /// staging-buffer budget under `Adaptive`.
+    Ewma {
+        /// Smoothing factor in `(0, 1]`; 1 degenerates to `Adaptive`.
+        alpha: f64,
+        /// Smallest window the policy may choose.
+        min: usize,
+        /// Largest window the policy may choose.
+        max: usize,
+    },
 }
 
 impl PrefetchPolicy {
     /// Chooses the window for the next batch.  `fixed` is the configured
-    /// `prefetch_window`; `fetch_compute_ratio` is the previous batch's
-    /// measured `fetch_time / compute_time` (`None` before the first batch).
+    /// `prefetch_window`; `tracked_ratio` is the policy's tracked
+    /// `fetch_time / compute_time` — the previous batch's measurement for
+    /// [`Adaptive`](Self::Adaptive), the smoothed average for
+    /// [`Ewma`](Self::Ewma) (`None` before the first batch).
     ///
     /// The choice never affects numerics — only how far ahead gathers may
     /// run (and therefore how many staging buffers are live).
-    pub fn choose_window(&self, fixed: usize, fetch_compute_ratio: Option<f64>) -> usize {
+    pub fn choose_window(&self, fixed: usize, tracked_ratio: Option<f64>) -> usize {
         match *self {
             PrefetchPolicy::Fixed => fixed,
-            PrefetchPolicy::Adaptive { min, max } => {
+            PrefetchPolicy::Adaptive { min, max } | PrefetchPolicy::Ewma { min, max, .. } => {
                 let max = max.max(min);
-                match fetch_compute_ratio {
+                match tracked_ratio {
                     None => fixed.clamp(min, max),
                     Some(r) => (r.max(0.0).ceil() as usize).clamp(min, max),
                 }
@@ -57,13 +74,14 @@ impl PrefetchPolicy {
 }
 
 /// Per-backend state of the window choice: remembers the previous batch's
-/// fetch/compute ratio so [`PrefetchPolicy::Adaptive`] has a measurement to
-/// work from.  Both backends (simulated and threaded) drive the same
-/// `choose → observe` cycle through this one type, so a policy change
-/// cannot silently diverge between them.
+/// fetch/compute ratio (and its EWMA) so [`PrefetchPolicy::Adaptive`] and
+/// [`PrefetchPolicy::Ewma`] have a measurement to work from.  Both backends
+/// (simulated and threaded) drive the same `choose → observe` cycle through
+/// this one type, so a policy change cannot silently diverge between them.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WindowSelector {
     last_fetch_compute_ratio: Option<f64>,
+    smoothed_fetch_compute_ratio: Option<f64>,
 }
 
 impl WindowSelector {
@@ -74,21 +92,47 @@ impl WindowSelector {
 
     /// Chooses the window for the next batch under `policy`.
     pub fn choose(&self, policy: PrefetchPolicy, fixed: usize) -> usize {
-        policy.choose_window(fixed, self.last_fetch_compute_ratio)
+        let tracked = match policy {
+            PrefetchPolicy::Ewma { .. } => self.smoothed_fetch_compute_ratio,
+            _ => self.last_fetch_compute_ratio,
+        };
+        policy.choose_window(fixed, tracked)
     }
 
     /// Records one batch's fetch and compute lane times (simulated device
-    /// seconds or measured thread-busy seconds — only their ratio matters).
-    /// Ignored when the batch had no measurable compute.
-    pub fn observe(&mut self, fetch_seconds: f64, compute_seconds: f64) {
-        if compute_seconds > 0.0 {
-            self.last_fetch_compute_ratio = Some(fetch_seconds / compute_seconds);
+    /// seconds or measured thread-busy seconds — only their ratio matters)
+    /// under `policy`, updating both the raw last-batch ratio and, for
+    /// [`PrefetchPolicy::Ewma`], the smoothed average.  Ignored when the
+    /// batch had no measurable compute.
+    pub fn observe(&mut self, policy: PrefetchPolicy, fetch_seconds: f64, compute_seconds: f64) {
+        if compute_seconds <= 0.0 {
+            return;
         }
+        let ratio = fetch_seconds / compute_seconds;
+        self.last_fetch_compute_ratio = Some(ratio);
+        self.smoothed_fetch_compute_ratio = match (policy, self.smoothed_fetch_compute_ratio) {
+            (PrefetchPolicy::Ewma { alpha, .. }, Some(prev)) => {
+                // Clamp into the documented (0, 1] domain: alpha = 0 would
+                // freeze the average at its first observation forever, so a
+                // sustained regime shift could never widen the window.
+                let alpha = alpha.clamp(1e-6, 1.0);
+                Some(alpha * ratio + (1.0 - alpha) * prev)
+            }
+            // First measurement (or a non-EWMA policy): seed the average
+            // with the raw ratio so switching policies mid-run stays sane.
+            _ => Some(ratio),
+        };
     }
 
     /// The most recent fetch/compute ratio, if any batch has been observed.
     pub fn last_ratio(&self) -> Option<f64> {
         self.last_fetch_compute_ratio
+    }
+
+    /// The EWMA-smoothed fetch/compute ratio, if any batch has been
+    /// observed.
+    pub fn smoothed_ratio(&self) -> Option<f64> {
+        self.smoothed_fetch_compute_ratio
     }
 }
 
@@ -249,12 +293,70 @@ mod tests {
         let mut sel = WindowSelector::new();
         assert_eq!(sel.last_ratio(), None);
         assert_eq!(sel.choose(policy, 2), 2, "seed window before measurements");
-        sel.observe(3.0, 1.0);
+        sel.observe(policy, 3.0, 1.0);
         assert_eq!(sel.last_ratio(), Some(3.0));
         assert_eq!(sel.choose(policy, 2), 3);
         // Zero compute leaves the previous measurement in place.
-        sel.observe(5.0, 0.0);
+        sel.observe(policy, 5.0, 0.0);
         assert_eq!(sel.last_ratio(), Some(3.0));
+    }
+
+    #[test]
+    fn ewma_policy_smooths_a_one_batch_spike_away() {
+        // The satellite claim: under EWMA a single anomalous batch must not
+        // flip the chosen window, while the purely reactive policy jumps.
+        let ewma = PrefetchPolicy::Ewma {
+            alpha: 0.1,
+            min: 1,
+            max: 8,
+        };
+        let adaptive = PrefetchPolicy::Adaptive { min: 1, max: 8 };
+        let mut sel = WindowSelector::new();
+        // A steady compute-bound phase: ratio 0.5 → window 1.
+        for _ in 0..4 {
+            sel.observe(ewma, 0.5, 1.0);
+        }
+        assert_eq!(sel.choose(ewma, 2), 1);
+        // One-batch spike (gather 4× slower than compute).
+        sel.observe(ewma, 4.0, 1.0);
+        assert_eq!(sel.last_ratio(), Some(4.0));
+        assert_eq!(
+            sel.choose(adaptive, 2),
+            4,
+            "the reactive policy whipsaws on the spike"
+        );
+        assert_eq!(
+            sel.choose(ewma, 2),
+            1,
+            "the smoothed policy must not flip the window on one batch"
+        );
+        // Back to steady state: the average keeps tracking.
+        sel.observe(ewma, 0.5, 1.0);
+        assert_eq!(sel.choose(ewma, 2), 1);
+        // A *sustained* shift does eventually move the window.
+        for _ in 0..40 {
+            sel.observe(ewma, 4.0, 1.0);
+        }
+        assert!(
+            sel.choose(ewma, 2) >= 3,
+            "sustained shifts must get through"
+        );
+    }
+
+    #[test]
+    fn ewma_choose_window_clamps_like_adaptive() {
+        let p = PrefetchPolicy::Ewma {
+            alpha: 0.3,
+            min: 1,
+            max: 6,
+        };
+        assert_eq!(p.choose_window(2, None), 2);
+        assert_eq!(p.choose_window(0, None), 1);
+        assert_eq!(p.choose_window(64, None), 6);
+        assert_eq!(p.choose_window(2, Some(0.05)), 1);
+        assert_eq!(p.choose_window(2, Some(2.3)), 3);
+        assert_eq!(p.choose_window(2, Some(50.0)), 6);
+        assert_eq!(p.choose_window(2, Some(-3.0)), 1);
     }
 
     #[test]

@@ -63,6 +63,11 @@ pub struct ThreadedConfig {
     /// tightest backpressure; larger values let lanes run further ahead of
     /// their consumers.
     pub channel_capacity: usize,
+    /// Worker threads for the banded render compute on the main thread's
+    /// lane (0 = inherit the trainer's `TrainConfig::compute_threads`).
+    /// This is the knob that lets the compute lane itself scale with cores;
+    /// it never changes the numerics.
+    pub compute_threads: usize,
 }
 
 impl Default for ThreadedConfig {
@@ -74,6 +79,7 @@ impl Default for ThreadedConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             channel_capacity: 2,
+            compute_threads: 0,
         }
     }
 }
@@ -101,6 +107,10 @@ impl ThreadedBackend {
             config.channel_capacity > 0,
             "channel_capacity must be at least 1"
         );
+        let mut train = train;
+        if config.compute_threads > 0 {
+            train.compute_threads = config.compute_threads;
+        }
         ThreadedBackend {
             trainer: Trainer::new(initial_model, train),
             config,
@@ -201,7 +211,11 @@ impl ThreadedBackend {
                             }
                         }
                         while let Ok((j, buf)) = req_rx.recv() {
-                            pool.release(buf);
+                            // Recycling the consumed buffer is comm-lane
+                            // work too (it is what a real pinned-pool free
+                            // costs), so it counts towards the lane's busy
+                            // time.
+                            timer.time(|| pool.release(buf));
                             for i in pw.issuable_after(Some(j)) {
                                 if !stage(i, pool) {
                                     return;
@@ -236,14 +250,15 @@ impl ThreadedBackend {
 
             // Empty groups would be pure handoff overhead; skipping them
             // cannot change numerics (an empty subset step is a no-op).
+            // Packing runs on the coordinator but is optimiser-lane work,
+            // so it is charged to the Adam lane's busy time.
             let send_group =
                 |adam: &crate::workers::WorkerLane<Vec<AdamWorkItem>, Vec<AdamWorkItem>>,
                  indices: &[u32],
                  grads: &gs_optim::GradientBuffer| {
                     if !indices.is_empty() {
-                        adam.requests
-                            .send(trainer.pack_adam_group(grads, indices))
-                            .expect("adam lane alive");
+                        let items = adam_timer.time(|| trainer.pack_adam_group(grads, indices));
+                        adam.requests.send(items).expect("adam lane alive");
                     }
                 };
 
@@ -308,8 +323,9 @@ impl ThreadedBackend {
         // Deferred write-back of the worker-computed updates (disjoint
         // groups — order does not matter, but arrival order is deterministic
         // anyway) and the traffic accounting for the worker-side copies.
+        // The write-back is the Adam lane's tail, so it is charged there.
         for items in &adam_groups {
-            self.trainer.apply_adam_results(items);
+            adam_timer.time(|| self.trainer.apply_adam_results(items));
         }
         if is_clm {
             let staged_rows: usize = plan.fetched.iter().map(|s| s.len()).sum();
@@ -322,7 +338,8 @@ impl ThreadedBackend {
         let comm = gather_timer.busy_seconds();
         let adam_busy = adam_timer.busy_seconds();
         if is_clm {
-            self.window_selector.observe(comm, compute_seconds);
+            self.window_selector
+                .observe(self.config.policy, comm, compute_seconds);
         }
 
         ExecutionReport {

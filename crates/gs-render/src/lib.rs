@@ -36,15 +36,18 @@
 
 pub mod image;
 pub mod loss;
+pub mod parallel;
 pub mod projection;
 pub mod rasterize;
 
 pub use image::{l1_error, mse, psnr, ssim, Image};
 pub use loss::{l1_loss, l2_loss, LossOutput};
+pub use parallel::{parallel_for_each, parallel_map};
 pub use projection::{
     project_gaussian, project_gaussian_backward, GaussianGradients, ProjectedGaussian,
     ScreenGradients,
 };
 pub use rasterize::{
-    render, render_backward, RenderAux, RenderGradients, RenderOptions, RenderOutput, TILE_SIZE,
+    render, render_backward, RenderAux, RenderGradients, RenderOptions, RenderOutput,
+    DEFAULT_BAND_HEIGHT, TILE_SIZE,
 };

@@ -1,0 +1,153 @@
+//! Hand-rolled scoped compute pool for the rasteriser's banded kernels.
+//!
+//! The build is network-free, so instead of rayon this module provides the
+//! minimum the render forward/backward passes need on top of `std` only: a
+//! work-stealing `parallel_for_each` over a vector of owned jobs, executed
+//! by scoped worker threads (`std::thread::scope`), plus an index-preserving
+//! `parallel_map` built on it.
+//!
+//! # Determinism contract
+//!
+//! The pool **never** influences what is computed — only *where*.  Two
+//! properties make every caller bit-deterministic for any thread count:
+//!
+//! 1. each job is a pure function of its own inputs (jobs share data only
+//!    through `&`-borrows), so the values a job produces cannot depend on
+//!    which worker ran it or when;
+//! 2. results are keyed by job index ([`parallel_map`]) or written to
+//!    disjoint `&mut` regions owned by the job itself, so nothing depends on
+//!    completion order.
+//!
+//! Any order-sensitive reduction (e.g. floating-point accumulation across
+//! bands) must therefore happen *outside* the pool, over the
+//! index-ordered results — which is exactly how
+//! [`crate::rasterize::render_backward`] merges its per-band gradient
+//! accumulators.
+//!
+//! Scoped threads (rather than a long-lived pool) are deliberate: they let
+//! jobs borrow the caller's stack-local buffers (image bands, per-band
+//! accumulators) directly, with no `Arc` plumbing and no `'static` bound,
+//! and they make the pool's lifetime exactly one parallel region — there is
+//! no shared global state to configure or poison across calls.
+
+use std::sync::Mutex;
+
+/// Runs `f` over every job in `jobs` across up to `threads` scoped worker
+/// threads (the calling thread participates, so `threads = 4` means at most
+/// 3 spawned workers).  Jobs are handed out through a shared queue in an
+/// unspecified order; see the module docs for why callers stay
+/// deterministic anyway.
+///
+/// `threads <= 1` (or fewer than two jobs) degenerates to a plain serial
+/// loop with no thread spawn at all, so the serial path *is* the parallel
+/// path at width 1 — there is no separate code path to diverge from.
+pub fn parallel_for_each<J, F>(threads: usize, jobs: Vec<J>, f: F)
+where
+    J: Send,
+    F: Fn(J) + Sync,
+{
+    let workers = threads.max(1).min(jobs.len());
+    if workers <= 1 {
+        for job in jobs {
+            f(job);
+        }
+        return;
+    }
+    let queue = Mutex::new(jobs.into_iter());
+    let (queue, f) = (&queue, &f);
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(move || drain(queue, f));
+        }
+        drain(queue, f);
+    });
+}
+
+/// Worker loop: pop the next job (holding the queue lock only for the pop),
+/// run it, repeat until the queue is empty.
+fn drain<J, F: Fn(J)>(queue: &Mutex<std::vec::IntoIter<J>>, f: &F) {
+    loop {
+        let job = queue.lock().expect("compute pool queue poisoned").next();
+        match job {
+            Some(job) => f(job),
+            None => return,
+        }
+    }
+}
+
+/// Computes `f(0), f(1), …, f(count - 1)` across up to `threads` workers and
+/// returns the results **in index order**, independent of which worker
+/// computed what.
+pub fn parallel_map<R, F>(threads: usize, count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut results: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    {
+        let jobs: Vec<(usize, &mut Option<R>)> = results.iter_mut().enumerate().collect();
+        parallel_for_each(threads, jobs, |(i, slot)| *slot = Some(f(i)));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every indexed job runs exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_index_order_for_any_thread_count() {
+        let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(threads, 100, |i| i * i);
+            assert_eq!(got, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_runs_every_job_exactly_once() {
+        for threads in [1, 2, 5] {
+            let counter = AtomicUsize::new(0);
+            let jobs: Vec<usize> = (0..37).collect();
+            parallel_for_each(threads, jobs, |i| {
+                counter.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), (1..=37).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn jobs_may_own_disjoint_mutable_borrows() {
+        // The forward pass's usage pattern: each job owns a `&mut` band of
+        // one output buffer.
+        let mut buf = vec![0u32; 64];
+        {
+            let jobs: Vec<(usize, &mut [u32])> = buf.chunks_mut(16).enumerate().collect();
+            parallel_for_each(4, jobs, |(b, band)| {
+                for (i, v) in band.iter_mut().enumerate() {
+                    *v = (b * 100 + i) as u32;
+                }
+            });
+        }
+        for (i, v) in buf.iter().enumerate() {
+            assert_eq!(*v, ((i / 16) * 100 + i % 16) as u32);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let got = parallel_map(32, 3, |i| i + 1);
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_single_job_degenerate_to_serial() {
+        let got: Vec<usize> = parallel_map(8, 0, |i| i);
+        assert!(got.is_empty());
+        assert_eq!(parallel_map(8, 1, |i| i + 41), vec![41]);
+    }
+}

@@ -96,6 +96,22 @@ impl ScreenGradients {
     pub fn is_zero(&self) -> bool {
         *self == ScreenGradients::default()
     }
+
+    /// Component-wise accumulation of another gradient (used to merge the
+    /// rasteriser's per-band accumulators in fixed band order).
+    pub fn accumulate(&mut self, other: &ScreenGradients) {
+        self.d_mean2d.x += other.d_mean2d.x;
+        self.d_mean2d.y += other.d_mean2d.y;
+        self.d_conic = Sym2::new(
+            self.d_conic.a + other.d_conic.a,
+            self.d_conic.b + other.d_conic.b,
+            self.d_conic.c + other.d_conic.c,
+        );
+        for c in 0..3 {
+            self.d_color[c] += other.d_color[c];
+        }
+        self.d_opacity += other.d_opacity;
+    }
 }
 
 /// Gradients of the loss with respect to one Gaussian's 59 parameters.

@@ -7,8 +7,31 @@
 //! reverse, reconstructing per-splat alpha to produce gradients with respect
 //! to the screen-space quantities, which are then chained through
 //! [`crate::projection`] back to the Gaussian parameters.
+//!
+//! # Banded parallelism, deterministic by construction
+//!
+//! Both passes are organised around fixed-size **horizontal pixel bands**
+//! ([`RenderOptions::band_height`] rows each).  Band geometry depends only
+//! on the image size and the configured band height — **never** on the
+//! thread count — and the bands are the unit of work handed to the scoped
+//! compute pool ([`crate::parallel`]):
+//!
+//! * **forward**: each band composites its own pixels into a disjoint slice
+//!   of the output image.  Every pixel is a pure function of the projected
+//!   splats, so the image is bit-identical for any `compute_threads`.
+//! * **backward**: each band accumulates its pixels' contributions into its
+//!   own sparse screen-space gradient accumulator; the per-band accumulators
+//!   are then merged **in fixed band order** on the calling thread.  The
+//!   floating-point accumulation order is therefore a function of the band
+//!   geometry alone, and the gradients are bit-identical for any thread
+//!   count.  (The per-slot chain through [`crate::projection`] is pure, so
+//!   it parallelises over slots with no ordering concern at all.)
+//!
+//! `compute_threads = 1` runs exactly the same banded code path, so "the
+//! serial path" and "the parallel path at width 1" are one and the same.
 
 use crate::image::Image;
+use crate::parallel::{parallel_for_each, parallel_map};
 use crate::projection::{
     project_gaussian, project_gaussian_backward, GaussianGradients, ProjectedGaussian,
     ProjectionContext, ScreenGradients, MAX_ALPHA, MIN_ALPHA,
@@ -23,6 +46,9 @@ pub const TILE_SIZE: u32 = 16;
 /// Transmittance below which compositing terminates early.
 pub const TRANSMITTANCE_EPS: f32 = 1e-4;
 
+/// Default height of the horizontal accumulation bands (one tile row).
+pub const DEFAULT_BAND_HEIGHT: u32 = TILE_SIZE;
+
 /// Options controlling a render call.
 #[derive(Debug, Clone)]
 pub struct RenderOptions {
@@ -32,6 +58,17 @@ pub struct RenderOptions {
     /// "pre-rendering frustum culling" path, §5.1).  When `None`, every
     /// Gaussian in the model is considered (the fused-culling baseline).
     pub visible: Option<Vec<u32>>,
+    /// Worker threads for the banded forward/backward kernels (clamped to
+    /// at least 1; 1 = run everything on the calling thread).  Pure
+    /// scheduling: the rendered image and the gradients are bit-identical
+    /// for every value.
+    pub compute_threads: usize,
+    /// Height in pixels of the horizontal accumulation bands (clamped to at
+    /// least 1).  This **is** part of the numeric contract: it fixes the
+    /// floating-point accumulation grouping of the backward pass, so runs
+    /// that must be bit-comparable need the same band height.  It must
+    /// depend only on the workload, never on the thread count.
+    pub band_height: u32,
 }
 
 impl Default for RenderOptions {
@@ -39,6 +76,8 @@ impl Default for RenderOptions {
         RenderOptions {
             background: [0.0; 3],
             visible: None,
+            compute_threads: 1,
+            band_height: DEFAULT_BAND_HEIGHT,
         }
     }
 }
@@ -64,6 +103,12 @@ pub struct RenderAux {
     width: u32,
     height: u32,
     background: [f32; 3],
+    /// Band geometry the forward pass used; the backward pass reuses it so
+    /// both passes share one accumulation grouping.
+    band_height: u32,
+    /// Thread-count hint carried over from the forward options (scheduling
+    /// only — never affects the gradients).
+    compute_threads: usize,
 }
 
 impl RenderAux {
@@ -171,15 +216,81 @@ pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -
         }
     }
 
-    // 4. Per-pixel front-to-back compositing.
+    // 4. Per-pixel front-to-back compositing, one job per horizontal band.
+    //    Each band owns a disjoint slice of the image and the pixel-state
+    //    buffer, so the pool can run bands in any order on any thread.
+    let band_height = options.band_height.max(1);
+    let compute_threads = options.compute_threads.max(1);
     let mut image = Image::new(width, height);
     let mut pixel_states = vec![PixelState::default(); (width * height) as usize];
-    for ty in 0..tiles_y {
+    {
+        let band_pixels = (band_height * width) as usize;
+        let jobs: Vec<(u32, &mut [[f32; 3]], &mut [PixelState])> = image
+            .pixels_mut()
+            .chunks_mut(band_pixels)
+            .zip(pixel_states.chunks_mut(band_pixels))
+            .enumerate()
+            .map(|(b, (img, states))| (b as u32 * band_height, img, states))
+            .collect();
+        let (projected, tile_lists) = (&projected, &tile_lists);
+        let background = options.background;
+        parallel_for_each(compute_threads, jobs, |(y0, img_band, state_band)| {
+            composite_band(
+                projected,
+                tile_lists,
+                tiles_x,
+                width,
+                height,
+                band_height,
+                background,
+                y0,
+                img_band,
+                state_band,
+            );
+        });
+    }
+
+    RenderOutput {
+        image,
+        aux: RenderAux {
+            projected,
+            contexts,
+            tile_lists,
+            pixel_states,
+            tiles_x,
+            width,
+            height,
+            background: options.background,
+            band_height,
+            compute_threads,
+        },
+    }
+}
+
+/// Composites every pixel of the band starting at row `y0` into the band's
+/// slice of the image/state buffers.  Pure per pixel: identical output
+/// regardless of which thread runs it.
+#[allow(clippy::too_many_arguments)]
+fn composite_band(
+    projected: &[ProjectedGaussian],
+    tile_lists: &[Vec<u32>],
+    tiles_x: u32,
+    width: u32,
+    height: u32,
+    band_height: u32,
+    background: [f32; 3],
+    y0: u32,
+    img_band: &mut [[f32; 3]],
+    state_band: &mut [PixelState],
+) {
+    let y_end = (y0 + band_height).min(height);
+    for ty in y0 / TILE_SIZE..=(y_end - 1) / TILE_SIZE {
+        let py_start = (ty * TILE_SIZE).max(y0);
+        let py_end = ((ty + 1) * TILE_SIZE).min(y_end);
         for tx in 0..tiles_x {
             let list = &tile_lists[(ty * tiles_x + tx) as usize];
             let x_end = ((tx + 1) * TILE_SIZE).min(width);
-            let y_end = ((ty + 1) * TILE_SIZE).min(height);
-            for py in ty * TILE_SIZE..y_end {
+            for py in py_start..py_end {
                 for px in tx * TILE_SIZE..x_end {
                     let mut t = 1.0f32;
                     let mut color = [0.0f32; 3];
@@ -199,30 +310,17 @@ pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -
                         t = next_t;
                     }
                     for c in 0..3 {
-                        color[c] += t * options.background[c];
+                        color[c] += t * background[c];
                     }
-                    image.set_pixel(px, py, color);
-                    pixel_states[(py * width + px) as usize] = PixelState {
+                    let idx = ((py - y0) * width + px) as usize;
+                    img_band[idx] = color;
+                    state_band[idx] = PixelState {
                         final_t: t,
                         last_index,
                     };
                 }
             }
         }
-    }
-
-    RenderOutput {
-        image,
-        aux: RenderAux {
-            projected,
-            contexts,
-            tile_lists,
-            pixel_states,
-            tiles_x,
-            width,
-            height,
-            background: options.background,
-        },
     }
 }
 
@@ -245,7 +343,7 @@ fn splat_alpha(p: &ProjectedGaussian, px: u32, py: u32) -> Option<f32> {
 
 /// Gradients produced by [`render_backward`]: one entry per Gaussian that
 /// received a non-zero gradient, keyed by its global index.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RenderGradients {
     entries: Vec<(u32, GaussianGradients)>,
 }
@@ -284,6 +382,12 @@ impl RenderGradients {
 /// pixel (`d_image`, row-major, one `[f32; 3]` per pixel), computes the
 /// gradient with respect to every contributing Gaussian's parameters.
 ///
+/// Runs band-parallel on up to `aux`'s `compute_threads` workers: each band
+/// accumulates its pixels' screen-space gradients independently, the
+/// per-band sparse accumulators are merged in fixed band order, and the
+/// per-splat chain through [`crate::projection`] fans out over slots.  The
+/// result is bit-identical for every thread count (see the module docs).
+///
 /// # Panics
 /// Panics if `d_image.len()` does not match the rendered resolution.
 pub fn render_backward(
@@ -298,19 +402,102 @@ pub fn render_backward(
         "d_image size must match the rendered resolution"
     );
 
+    let band_height = aux.band_height.max(1);
+    let threads = aux.compute_threads.max(1);
+    let bands = aux.height.div_ceil(band_height) as usize;
+
+    // 1. Per-band sparse screen-space accumulators, computed independently.
+    let partials: Vec<Vec<(u32, ScreenGradients)>> = parallel_map(threads, bands, |b| {
+        backward_band(aux, d_image, b as u32 * band_height)
+    });
+
+    // 2. Merge in fixed band order.  This is the only order-sensitive
+    //    floating-point reduction in the pass, and it runs on the calling
+    //    thread over the index-ordered partials, so the accumulation order
+    //    depends only on the band geometry.
     let mut screen_grads: Vec<ScreenGradients> =
         vec![ScreenGradients::default(); aux.projected.len()];
+    for band in &partials {
+        for (slot, g) in band {
+            screen_grads[*slot as usize].accumulate(g);
+        }
+    }
 
-    let tiles_y = aux.height.div_ceil(TILE_SIZE);
-    for ty in 0..tiles_y {
+    // 3. Chain screen-space gradients back to the 59 Gaussian parameters —
+    //    pure per slot, so it parallelises freely; the output vector is
+    //    keyed by slot order either way.
+    let contributing: Vec<u32> = (0..screen_grads.len() as u32)
+        .filter(|&slot| !screen_grads[slot as usize].is_zero())
+        .collect();
+    let entries: Vec<(u32, GaussianGradients)> = parallel_map(threads, contributing.len(), |k| {
+        let slot = contributing[k] as usize;
+        let p = &aux.projected[slot];
+        let g = model.get(p.index as usize);
+        let grads = project_gaussian_backward(&g, camera, &aux.contexts[slot], &screen_grads[slot]);
+        (p.index, grads)
+    });
+
+    let mut entries = entries;
+    entries.sort_by_key(|(i, _)| *i);
+    // Merge duplicates (a Gaussian only appears once per render, but keep
+    // the invariant explicit).
+    let mut merged: Vec<(u32, GaussianGradients)> = Vec::with_capacity(entries.len());
+    for (idx, grad) in entries {
+        match merged.last_mut() {
+            Some((last_idx, last_grad)) if *last_idx == idx => last_grad.accumulate(&grad),
+            _ => merged.push((idx, grad)),
+        }
+    }
+    RenderGradients { entries: merged }
+}
+
+std::thread_local! {
+    /// Per-worker dense scratch for [`backward_band`], reused across every
+    /// band the worker drains (and across calls, on the calling thread).
+    /// Invariant: all entries are zero between bands — each band resets
+    /// exactly the slots it touched — so reuse costs O(touched) instead of
+    /// re-zeroing O(projected) once per band.
+    static BAND_SCRATCH: std::cell::RefCell<Vec<ScreenGradients>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Accumulates the screen-space gradients of every pixel in the band
+/// starting at row `y0`, returning them as a sparse, slot-ordered list.
+/// Pure: depends only on `aux`, `d_image` and the band geometry — the
+/// thread-local scratch is an allocation cache, never carried state.
+fn backward_band(aux: &RenderAux, d_image: &[[f32; 3]], y0: u32) -> Vec<(u32, ScreenGradients)> {
+    BAND_SCRATCH.with(|cell| {
+        let mut dense = cell.borrow_mut();
+        if dense.len() < aux.projected.len() {
+            dense.resize(aux.projected.len(), ScreenGradients::default());
+        }
+        backward_band_with_scratch(aux, d_image, y0, &mut dense)
+    })
+}
+
+/// The body of [`backward_band`] over a caller-provided scratch buffer
+/// whose first `aux.projected.len()` entries are all zero; restores that
+/// invariant before returning.
+fn backward_band_with_scratch(
+    aux: &RenderAux,
+    d_image: &[[f32; 3]],
+    y0: u32,
+    dense: &mut [ScreenGradients],
+) -> Vec<(u32, ScreenGradients)> {
+    // Slots this band wrote to, pushed on first touch (a touched entry that
+    // cancels back to exact zero may be pushed again — dedup below).
+    let mut touched: Vec<u32> = Vec::new();
+    let y_end = (y0 + aux.band_height.max(1)).min(aux.height);
+    for ty in y0 / TILE_SIZE..=(y_end - 1) / TILE_SIZE {
+        let py_start = (ty * TILE_SIZE).max(y0);
+        let py_end = ((ty + 1) * TILE_SIZE).min(y_end);
         for tx in 0..aux.tiles_x {
             let list = &aux.tile_lists[(ty * aux.tiles_x + tx) as usize];
             if list.is_empty() {
                 continue;
             }
             let x_end = ((tx + 1) * TILE_SIZE).min(aux.width);
-            let y_end = ((ty + 1) * TILE_SIZE).min(aux.height);
-            for py in ty * TILE_SIZE..y_end {
+            for py in py_start..py_end {
                 for px in tx * TILE_SIZE..x_end {
                     let state = aux.pixel_states[(py * aux.width + px) as usize];
                     let d_pix = d_image[(py * aux.width + px) as usize];
@@ -333,7 +520,10 @@ pub fn render_backward(
                         };
                         // Transmittance in front of this splat.
                         t /= 1.0 - alpha;
-                        let g = &mut screen_grads[slot];
+                        if dense[slot].is_zero() {
+                            touched.push(slot as u32);
+                        }
+                        let g = &mut dense[slot];
 
                         // Colour gradient.
                         for c in 0..3 {
@@ -373,29 +563,19 @@ pub fn render_backward(
             }
         }
     }
-
-    // Chain screen-space gradients back to the 59 Gaussian parameters.
-    let mut entries: Vec<(u32, GaussianGradients)> = Vec::new();
-    for (slot, screen) in screen_grads.iter().enumerate() {
-        if screen.is_zero() {
-            continue;
-        }
-        let p = &aux.projected[slot];
-        let g = model.get(p.index as usize);
-        let grads = project_gaussian_backward(&g, camera, &aux.contexts[slot], screen);
-        entries.push((p.index, grads));
-    }
-    entries.sort_by_key(|(i, _)| *i);
-    // Merge duplicates (a Gaussian only appears once per render, but keep
-    // the invariant explicit).
-    let mut merged: Vec<(u32, GaussianGradients)> = Vec::with_capacity(entries.len());
-    for (idx, grad) in entries {
-        match merged.last_mut() {
-            Some((last_idx, last_grad)) if *last_idx == idx => last_grad.accumulate(&grad),
-            _ => merged.push((idx, grad)),
+    // Compress the touched slots to a sparse, slot-ordered list (so the
+    // merge step visits contributing splats in a fixed order) while
+    // resetting exactly those scratch entries for the next band.
+    touched.sort_unstable();
+    touched.dedup();
+    let mut out: Vec<(u32, ScreenGradients)> = Vec::with_capacity(touched.len());
+    for &slot in &touched {
+        let g = std::mem::take(&mut dense[slot as usize]);
+        if !g.is_zero() {
+            out.push((slot, g));
         }
     }
-    RenderGradients { entries: merged }
+    out
 }
 
 #[cfg(test)]
@@ -435,6 +615,7 @@ mod tests {
             &RenderOptions {
                 background: [0.1, 0.2, 0.3],
                 visible: None,
+                ..RenderOptions::default()
             },
         );
         for p in out.image.pixels() {
@@ -475,6 +656,7 @@ mod tests {
             &RenderOptions {
                 background: [0.0; 3],
                 visible: Some(vec![0]),
+                ..RenderOptions::default()
             },
         );
         assert_ne!(all.image, only_first.image);
@@ -498,6 +680,7 @@ mod tests {
             &RenderOptions {
                 background: [0.0; 3],
                 visible: Some(vec![0, 1]),
+                ..RenderOptions::default()
             },
         );
         assert_eq!(unrestricted.image, explicit.image);
@@ -536,6 +719,7 @@ mod tests {
             &RenderOptions {
                 background: [0.0; 3],
                 visible: Some(vec![7]),
+                ..RenderOptions::default()
             },
         );
     }
@@ -605,6 +789,56 @@ mod tests {
                 (fd - analytic).abs() / scale < 0.08,
                 "{label}: finite diff {fd} vs analytic {analytic}"
             );
+        }
+    }
+
+    #[test]
+    fn banded_render_is_bit_identical_for_any_thread_count() {
+        // The tentpole determinism contract at the crate level: with band
+        // geometry fixed, the thread count is pure scheduling — image,
+        // pixel states and gradients are bit-identical.
+        let mut model = GaussianModel::new();
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.1, -0.4, 4.0),
+            0.6,
+            [0.6, 0.3, 0.8],
+            0.7,
+        ));
+        model.push(Gaussian::isotropic(
+            Vec3::new(-0.3, 0.5, 6.0),
+            0.8,
+            [0.2, 0.7, 0.4],
+            0.6,
+        ));
+        model.push(Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 3.0),
+            0.2,
+            [0.9, 0.9, 0.1],
+            0.9,
+        ));
+        let cam = camera(48);
+        for band_height in [4u32, 16] {
+            let opts = |threads: usize| RenderOptions {
+                compute_threads: threads,
+                band_height,
+                ..RenderOptions::default()
+            };
+            let reference = render(&model, &cam, &opts(1));
+            let d_image = vec![[0.7f32, -0.2, 1.3]; reference.image.pixel_count()];
+            let ref_grads = render_backward(&model, &cam, &reference.aux, &d_image);
+            assert!(!ref_grads.is_empty());
+            for threads in [2usize, 3, 8] {
+                let out = render(&model, &cam, &opts(threads));
+                assert_eq!(
+                    out.image, reference.image,
+                    "band {band_height}, threads {threads}"
+                );
+                let grads = render_backward(&model, &cam, &out.aux, &d_image);
+                assert_eq!(
+                    grads, ref_grads,
+                    "band {band_height}, threads {threads}: gradients must be bit-identical"
+                );
+            }
         }
     }
 

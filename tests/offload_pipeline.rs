@@ -58,6 +58,7 @@ fn rendering_from_the_culled_set_matches_full_rendering() {
             &RenderOptions {
                 background: [0.0; 3],
                 visible: Some(visible.indices().to_vec()),
+                ..RenderOptions::default()
             },
         );
         assert_eq!(full.image, culled.image);

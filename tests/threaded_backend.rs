@@ -118,6 +118,7 @@ fn threaded_backend_survives_single_slot_backpressure() {
             policy: PrefetchPolicy::Fixed,
             adam_threads: 1,
             channel_capacity: 1,
+            compute_threads: 0,
         },
     );
     for _ in 0..2 {
