@@ -1,21 +1,26 @@
 //! Wall-clock runtime benchmark binary.
 //!
 //! Trains the same scene with the synchronous trainer, the simulated
-//! pipelined engine, the threaded backend and the threaded backend with a
-//! parallel compute lane, verifies the four are bit-identical, and emits
-//! the measurements as single-line JSON to stdout **and** to
-//! `BENCH_runtime.json` (override with `--out <path>`).
+//! pipelined engine, the threaded backend, the threaded backend with a
+//! parallel compute lane and the sharded multi-device engine, verifies the
+//! five are bit-identical, and emits the measurements as single-line JSON
+//! to stdout **and** to `BENCH_runtime.json` (override with
+//! `--out <path>`).
 //!
 //! Flags:
 //!
 //! * `--smoke` — run the tiny CI configuration and enforce the smoke gate:
-//!   the written artefact must be well-formed, the four backends must be
-//!   bit-identical, and the threaded backend must beat the synchronous
-//!   trainer **strictly** (`> 1×`) on a host with ≥ 2 cores.  On a
-//!   single-core host the lanes can only time-slice, so the gate is a 0.9×
-//!   floor that bounds the coordination overhead instead.  On a ≥ 4-core
-//!   host the parallel compute lane must additionally reach ≥ 1.5× the
-//!   serial lane's throughput.
+//!   the written artefact must be well-formed, the five backends must be
+//!   bit-identical (in particular `sharded_bit_identical`, the shard-count
+//!   invariance CI's `shard-matrix` job checks at every device count), and
+//!   the threaded backend must beat the synchronous trainer **strictly**
+//!   (`> 1×`) on a host with ≥ 2 cores.  On a single-core host the lanes
+//!   can only time-slice, so the gate is a 0.9× floor that bounds the
+//!   coordination overhead instead.  On a ≥ 4-core host the parallel
+//!   compute lane must additionally reach ≥ 1.5× the serial lane's
+//!   throughput.
+//! * `--devices <n>` — simulated devices for the `sharded` entry
+//!   (default 1; CI's matrix runs 1, 2 and 4).
 //! * `--compute-threads <n>` — band workers for the `threaded_parallel`
 //!   entry (default: the host's detected parallelism).
 //! * `--out <path>` — where to write the JSON artefact.
@@ -61,6 +66,19 @@ fn main() -> ExitCode {
         },
         None => 0, // auto-detect
     };
+    let devices = match args.iter().position(|a| a == "--devices") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "bench_runtime: --devices needs a positive integer, got {}",
+                    args.get(i + 1).map(String::as_str).unwrap_or("<missing>")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 1,
+    };
 
     let mut scale = if smoke {
         WallclockScale::smoke()
@@ -68,6 +86,7 @@ fn main() -> ExitCode {
         WallclockScale::full()
     };
     scale.compute_threads = compute_threads;
+    scale.devices = devices;
     let bench = run_wallclock_bench(scale);
     let json = bench.to_json();
     println!("{json}");
@@ -77,6 +96,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if !bench.sharded_bit_identical {
+        eprintln!(
+            "bench_runtime: FAIL — sharded training at {} devices diverged from the \
+             synchronous trainer (shard-count invariance violated)",
+            bench.devices,
+        );
+        return ExitCode::FAILURE;
+    }
     if !bench.numerics_match {
         eprintln!("bench_runtime: FAIL — backends diverged numerically");
         return ExitCode::FAILURE;
@@ -138,9 +165,10 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_runtime: smoke gate passed (threaded/sync = {speedup:.3}x, \
              threaded/simulated = {:.3}x, parallel-compute/serial = {compute_speedup:.3}x \
-             at {} threads, cores = {cores})",
+             at {} threads, sharded bit-identical at {} devices, cores = {cores})",
             bench.speedup_threaded_vs_simulated(),
             bench.compute_threads,
+            bench.devices,
         );
     }
     ExitCode::SUCCESS

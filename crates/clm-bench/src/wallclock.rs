@@ -1,9 +1,9 @@
-//! Wall-clock runtime benchmark: synchronous vs simulated vs threaded,
-//! with a serial-vs-parallel **compute dimension** on top.
+//! Wall-clock runtime benchmark: synchronous vs simulated vs threaded vs
+//! sharded, with a serial-vs-parallel **compute dimension** on top.
 //!
 //! Every other artefact in this crate reports *simulated* device time; this
 //! module is the repo's **measured** performance baseline.  It trains the
-//! same scene from the same initial model with four execution strategies —
+//! same scene from the same initial model with five execution strategies —
 //!
 //! 1. `synchronous` — `clm_core::Trainer::train_epoch`, every lane inline;
 //! 2. `simulated` — `clm_runtime::PipelinedEngine`, lanes inline plus
@@ -12,13 +12,17 @@
 //!    real worker threads, render compute serial (`compute_threads = 1`);
 //! 4. `threaded_parallel` — the same backend with the banded render
 //!    compute fanned out over `compute_threads` workers;
+//! 5. `sharded` — `clm_runtime::ShardedEngine` with `WallclockScale::devices`
+//!    per-device lane groups on the shared simulated timeline (per-device
+//!    lane-busy breakdown in the artefact);
 //!
-//! — verifies all four final models are **bit-identical** (the compute
-//! lane's thread count is pure scheduling), and reports wall-clock
-//! throughput, speedups, per-lane busy fractions and the compute-lane
-//! serial/parallel speedup as a single-line JSON object (written to
-//! `BENCH_runtime.json` by the `bench_runtime` binary).  On a multi-core
-//! host the threaded backend should strictly out-run the single-threaded
+//! — verifies all five final models are **bit-identical** (thread counts
+//! and shard counts are pure scheduling; `sharded_bit_identical` is the
+//! flag CI's `shard-matrix` job gates on at devices ∈ {1, 2, 4}), and
+//! reports wall-clock throughput, speedups, per-lane busy fractions and the
+//! compute-lane serial/parallel speedup as a single-line JSON object
+//! (written to `BENCH_runtime.json` by the `bench_runtime` binary).  On a
+//! multi-core host the threaded backend should strictly out-run the single-threaded
 //! strategies and the parallel compute lane should shrink with cores; on a
 //! single core both degrade to roughly synchronous speed, which is why the
 //! CI smoke gate is core-count-conditional (a strict `> 1×` win on ≥ 2
@@ -26,8 +30,8 @@
 
 use clm_core::{ground_truth_images, SystemKind, TrainConfig, Trainer};
 use clm_runtime::{
-    ExecutionBackend, PipelinedEngine, PrefetchPolicy, RuntimeConfig, ThreadedBackend,
-    ThreadedConfig,
+    ExecutionBackend, LaneBusy, PipelinedEngine, PrefetchPolicy, RuntimeConfig, ShardedEngine,
+    ThreadedBackend, ThreadedConfig,
 };
 use gs_core::gaussian::GaussianModel;
 use gs_render::Image;
@@ -62,6 +66,9 @@ pub struct WallclockScale {
     /// Band workers for the `threaded_parallel` compute dimension
     /// (0 = auto-detect the host's available parallelism).
     pub compute_threads: usize,
+    /// Simulated devices for the `sharded` entry (CI's shard matrix runs
+    /// 1, 2 and 4).
+    pub devices: usize,
 }
 
 impl WallclockScale {
@@ -80,6 +87,7 @@ impl WallclockScale {
             epochs: 3,
             prefetch_window: 2,
             compute_threads: 0,
+            devices: 1,
         }
     }
 
@@ -96,6 +104,7 @@ impl WallclockScale {
             epochs: 4,
             prefetch_window: 2,
             compute_threads: 0,
+            devices: 1,
         }
     }
 
@@ -112,6 +121,7 @@ impl WallclockScale {
             epochs: 1,
             prefetch_window: 1,
             compute_threads: 2,
+            devices: 2,
         }
     }
 
@@ -156,6 +166,10 @@ pub struct BackendMeasurement {
     pub host_cores: usize,
     /// Prefetch window used on each batch (empty when not applicable).
     pub windows: Vec<usize>,
+    /// Per-device lane busy seconds summed over the run, indexed by device
+    /// (`sharded` entry only; empty otherwise).  `scheduling` is 0 per
+    /// device — the host scheduler is shared.
+    pub device_lanes: Vec<LaneBusy>,
 }
 
 impl BackendMeasurement {
@@ -167,6 +181,19 @@ impl BackendMeasurement {
         compute_threads: usize,
         reports: &[clm_runtime::ExecutionReport],
     ) -> Self {
+        let devices = reports
+            .iter()
+            .map(|r| r.device_lanes.len())
+            .max()
+            .unwrap_or(0);
+        let mut device_lanes = vec![LaneBusy::default(); devices];
+        for r in reports {
+            for (dev, lanes) in r.device_lanes.iter().enumerate() {
+                device_lanes[dev].compute += lanes.compute;
+                device_lanes[dev].comm += lanes.comm;
+                device_lanes[dev].adam += lanes.adam;
+            }
+        }
         BackendMeasurement {
             name,
             wall_seconds,
@@ -182,6 +209,7 @@ impl BackendMeasurement {
             compute_threads,
             host_cores: detect_host_cores(),
             windows: reports.iter().map(|r| r.prefetch_window).collect(),
+            device_lanes,
         }
     }
 
@@ -190,6 +218,19 @@ impl BackendMeasurement {
             .windows
             .iter()
             .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let device_lanes = self
+            .device_lanes
+            .iter()
+            .enumerate()
+            .map(|(dev, l)| {
+                format!(
+                    "{{\"device\":{dev},\"compute_busy_s\":{:.6},\
+                     \"comm_busy_s\":{:.6},\"adam_busy_s\":{:.6}}}",
+                    l.compute, l.comm, l.adam,
+                )
+            })
             .collect::<Vec<_>>()
             .join(",");
         // Six decimals on the lane seconds/fractions: the comm and Adam
@@ -201,7 +242,7 @@ impl BackendMeasurement {
              \"lane_denominator_s\":{:.4},\
              \"compute_threads\":{},\"host_cores\":{},\
              \"busy_fractions\":{{\"comm\":{:.6},\"adam\":{:.6},\"compute\":{:.6}}},\
-             \"windows\":[{}]}}",
+             \"windows\":[{}],\"device_lanes\":[{}]}}",
             self.name,
             self.wall_seconds,
             self.images_per_s,
@@ -215,6 +256,7 @@ impl BackendMeasurement {
             self.busy_fraction(self.adam_busy_s),
             self.busy_fraction(self.compute_busy_s),
             windows,
+            device_lanes,
         )
     }
 
@@ -236,11 +278,17 @@ pub struct WallclockBench {
     pub host_cores: usize,
     /// Band workers the `threaded_parallel` entry ran with.
     pub compute_threads: usize,
+    /// Simulated devices the `sharded` entry ran with.
+    pub devices: usize,
     /// Measurements in `[synchronous, simulated, threaded,
-    /// threaded_parallel]` order.
+    /// threaded_parallel, sharded]` order.
     pub backends: Vec<BackendMeasurement>,
-    /// Whether all four final models were bit-identical.
+    /// Whether all five final models were bit-identical.
     pub numerics_match: bool,
+    /// The shard-count invariance gate: whether the sharded engine's final
+    /// model equalled the synchronous trainer's bit for bit at this device
+    /// count.
+    pub sharded_bit_identical: bool,
 }
 
 impl WallclockBench {
@@ -297,17 +345,18 @@ impl WallclockBench {
             .join(",");
         format!(
             "{{\"bench\":\"runtime_wallclock\",\"scale\":\"{}\",\"host_cores\":{},\
-             \"compute_threads\":{},\
+             \"compute_threads\":{},\"devices\":{},\
              \"views_per_epoch\":{},\"epochs\":{},\"batch_size\":{},\"prefetch_window\":{},\
              \"model_gaussians\":{},\"resolution\":\"{}x{}\",\
              \"backends\":[{}],\
              \"speedup_threaded_vs_sync\":{:.3},\"speedup_threaded_vs_simulated\":{:.3},\
              \"speedup_parallel_vs_sync\":{:.3},\
              \"compute_speedup_parallel_vs_serial\":{:.3},\
-             \"numerics_match\":{}}}",
+             \"numerics_match\":{},\"sharded_bit_identical\":{}}}",
             self.scale.label,
             self.host_cores,
             self.compute_threads,
+            self.devices,
             self.scale.views,
             self.scale.epochs,
             self.scale.batch_size,
@@ -321,6 +370,7 @@ impl WallclockBench {
             self.speedup_parallel_vs_sync(),
             self.compute_speedup_parallel_vs_serial(),
             self.numerics_match,
+            self.sharded_bit_identical,
         )
     }
 }
@@ -377,6 +427,7 @@ fn train_config(scale: &WallclockScale) -> TrainConfig {
 /// Runs the benchmark at the given scale.
 pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
     let (dataset, targets, init) = bench_scene(&scale);
+    let model_len = init.len();
     let total_views = scale.views * scale.epochs;
     let compute_threads = scale.effective_compute_threads();
 
@@ -406,6 +457,7 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
         compute_threads: 1,
         host_cores: detect_host_cores(),
         windows: Vec::new(),
+        device_lanes: Vec::new(),
     };
 
     // 2. Simulated (discrete-event) engine — paper-scale costing so its
@@ -418,9 +470,11 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
             device: DeviceProfile::rtx4090(),
             prefetch_window: scale.prefetch_window,
             policy: PrefetchPolicy::Fixed,
-            cost_scale: 45_200_000.0 / init.len() as f64,
+            cost_scale: 45_200_000.0 / model_len as f64,
             pixel_cost_scale: (1920.0 * 1080.0) / (scale.width as f64 * scale.height as f64),
             compute_threads: 0,
+            num_devices: 1,
+            warm_start_ratio: None,
         },
     );
     let (sim_reports, sim_wall) = timed_epochs(&mut simulated, &dataset, &targets, scale.epochs);
@@ -459,7 +513,7 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
     // 4. Threaded backend with the banded compute lane fanned out — the
     // serial-vs-parallel compute dimension.
     let mut parallel = ThreadedBackend::new(
-        init,
+        init.clone(),
         train_config(&scale),
         ThreadedConfig {
             prefetch_window: scale.prefetch_window,
@@ -477,16 +531,58 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
         &par_reports,
     );
 
+    // 5. Sharded engine — the scene split across `devices` simulated
+    // per-device lane groups, paper-scale costing like the simulated
+    // backend.  Its final model vs the synchronous trainer's is the
+    // shard-count invariance gate CI's shard matrix runs at 1, 2 and 4
+    // devices.
+    let devices = scale.devices.max(1);
+    let mut sharded = ShardedEngine::new(
+        init,
+        train_config(&scale),
+        RuntimeConfig {
+            device: DeviceProfile::rtx4090(),
+            prefetch_window: scale.prefetch_window,
+            policy: PrefetchPolicy::Fixed,
+            cost_scale: 45_200_000.0 / model_len as f64,
+            pixel_cost_scale: (1920.0 * 1080.0) / (scale.width as f64 * scale.height as f64),
+            compute_threads: 0,
+            num_devices: devices,
+            warm_start_ratio: None,
+        },
+        &dataset.cameras,
+    );
+    let (shard_reports, shard_wall) = timed_epochs(&mut sharded, &dataset, &targets, scale.epochs);
+    let shard_makespan: f64 = shard_reports.iter().filter_map(|r| r.sim_makespan).sum();
+    let shard_measure = BackendMeasurement::from_reports(
+        "sharded",
+        shard_wall,
+        total_views,
+        shard_makespan,
+        1,
+        &shard_reports,
+    );
+
+    let sharded_bit_identical = sync.model() == sharded.trainer().model();
     let numerics_match = sync.model() == simulated.trainer().model()
         && sync.model() == threaded.trainer().model()
-        && sync.model() == parallel.trainer().model();
+        && sync.model() == parallel.trainer().model()
+        && sharded_bit_identical;
 
     WallclockBench {
         scale,
         host_cores: detect_host_cores(),
         compute_threads,
-        backends: vec![sync_measure, sim_measure, thr_measure, par_measure],
+        devices,
+        backends: vec![
+            sync_measure,
+            sim_measure,
+            thr_measure,
+            par_measure,
+            shard_measure,
+        ],
         numerics_match,
+        sharded_bit_identical,
     }
 }
 
@@ -525,6 +621,9 @@ pub fn looks_like_bench_json(s: &str) -> bool {
         && t.contains("\"speedup_threaded_vs_sync\":")
         && t.contains("\"compute_speedup_parallel_vs_serial\":")
         && t.contains("\"numerics_match\":")
+        && t.contains("\"devices\":")
+        && t.contains("\"name\":\"sharded\"")
+        && t.contains("\"sharded_bit_identical\":")
 }
 
 #[cfg(test)]
@@ -536,9 +635,10 @@ mod tests {
         let bench = run_wallclock_bench(WallclockScale::test());
         assert!(
             bench.numerics_match,
-            "all four backends must train identically"
+            "all five backends must train identically"
         );
-        assert_eq!(bench.backends.len(), 4);
+        assert!(bench.sharded_bit_identical);
+        assert_eq!(bench.backends.len(), 5);
         for b in &bench.backends {
             assert!(b.wall_seconds > 0.0, "{}", b.name);
             assert!(b.images_per_s > 0.0, "{}", b.name);
@@ -551,6 +651,7 @@ mod tests {
         let json = bench.to_json();
         assert!(looks_like_bench_json(&json), "malformed: {json}");
         assert!(json.contains("\"numerics_match\":true"));
+        assert!(json.contains("\"sharded_bit_identical\":true"));
         // The threaded backends actually used their gather and Adam lanes
         // (the lane accounting these fields report used to flatline at 0).
         for name in ["threaded", "threaded_parallel"] {
@@ -558,6 +659,21 @@ mod tests {
             assert!(bench.backend(name).adam_busy_s > 0.0, "{name}");
             assert!(bench.backend(name).compute_busy_s > 0.0, "{name}");
         }
+        // The sharded entry carries the per-device lane breakdown at the
+        // test scale's 2 devices, and its summed lanes match the totals.
+        assert_eq!(bench.devices, 2);
+        let sharded = bench.backend("sharded");
+        assert_eq!(sharded.device_lanes.len(), 2);
+        for (dev, lanes) in sharded.device_lanes.iter().enumerate() {
+            assert!(lanes.compute > 0.0, "device {dev}");
+            assert!(lanes.comm > 0.0, "device {dev}");
+            assert!(lanes.adam > 0.0, "device {dev}");
+        }
+        let summed: f64 = sharded.device_lanes.iter().map(|l| l.compute).sum();
+        assert!((summed - sharded.compute_busy_s).abs() < 1e-9);
+        assert!(json.contains("\"device_lanes\":[{\"device\":0,"));
+        // Single-device entries carry no per-device breakdown.
+        assert!(bench.backend("threaded").device_lanes.is_empty());
     }
 
     #[test]
@@ -573,6 +689,12 @@ mod tests {
         assert!(!looks_like_bench_json(
             "{\"bench\":\"runtime_wallclock\",\"speedup_threaded_vs_sync\":1.0,\
              \"numerics_match\":true}"
+        ));
+        // So is the pre-sharding shape (no devices / sharded entry /
+        // invariance flag).
+        assert!(!looks_like_bench_json(
+            "{\"bench\":\"runtime_wallclock\",\"speedup_threaded_vs_sync\":1.0,\
+             \"compute_speedup_parallel_vs_serial\":1.0,\"numerics_match\":true}"
         ));
     }
 }

@@ -52,6 +52,14 @@ pub struct TrainConfig {
     /// [`Trainer::train_batch`] replays in the exact serial order, so this
     /// is bit-identical too.  Only takes effect when `compute_threads > 1`.
     pub view_parallel: bool,
+    /// Data-parallel device count the batch's micro-batches are sharded
+    /// across (1 = single device).  Micro-batch `i` runs on device `i mod
+    /// num_devices`; the batch is processed in rounds of one micro-batch per
+    /// device, with losses, gradient accumulations and finalised Adam steps
+    /// replayed in the serial micro-batch order — the fixed-order reduction
+    /// that keeps the trajectory bit-identical to the 1-device trainer for
+    /// every shard count.  Pure scheduling, like `compute_threads`.
+    pub num_devices: usize,
     /// RNG seed for ordering.
     pub seed: u64,
 }
@@ -68,6 +76,7 @@ impl Default for TrainConfig {
             overlapped_adam: true,
             compute_threads: 1,
             view_parallel: false,
+            num_devices: 1,
             seed: 0,
         }
     }
@@ -351,7 +360,8 @@ impl Trainer {
         loss
     }
 
-    /// The compute half of [`process_microbatch`]: renders micro-batch
+    /// The compute half of [`process_microbatch`](Self::process_microbatch):
+    /// renders micro-batch
     /// `micro_idx`'s view (band-parallel on `self.config.compute_threads`
     /// workers) and returns its L1 loss plus the raw render gradients
     /// **without** touching the shared gradient buffer.  Pure with respect
@@ -501,9 +511,10 @@ impl Trainer {
     /// identical.
     ///
     /// With `view_parallel` enabled (and `compute_threads > 1`) the views
-    /// render concurrently instead — see
-    /// [`train_batch_view_parallel`](Self::train_batch_view_parallel) for
-    /// why that is bit-identical as well.
+    /// render concurrently instead, and with `num_devices > 1` the batch is
+    /// sharded across data-parallel device rounds — both through the wave
+    /// path (`train_batch_waves`), which is bit-identical to the serial
+    /// path for any wave size.
     ///
     /// # Panics
     /// Panics if `cameras` and `targets` differ in length or are empty.
@@ -516,8 +527,17 @@ impl Trainer {
         assert!(!cameras.is_empty(), "batch must contain at least one view");
 
         let plan = self.plan_batch(cameras);
-        if self.config.view_parallel && self.config.compute_threads > 1 && plan.order.len() > 1 {
-            return self.train_batch_view_parallel(&plan, cameras, targets);
+        // One micro-batch per simulated device and round under sharding;
+        // one per band worker under view parallelism.
+        let wave = if self.config.num_devices > 1 {
+            self.config.num_devices
+        } else if self.config.view_parallel && self.config.compute_threads > 1 {
+            self.config.compute_threads
+        } else {
+            1
+        };
+        if wave > 1 && plan.order.len() > 1 {
+            return self.train_batch_waves(&plan, cameras, targets, wave);
         }
         let mut grads = GradientBuffer::for_model(&self.model);
         let mut staging = Vec::new();
@@ -533,40 +553,46 @@ impl Trainer {
         self.finish_batch(&plan, &grads, total_loss)
     }
 
-    /// Executes one planned batch with its views rendered concurrently —
-    /// the second parallelism level above the banded per-view kernels.
+    /// Executes one planned batch in **waves of `wave` views** rendered
+    /// concurrently — the second parallelism level above the banded
+    /// per-view kernels (`wave = compute_threads` under `view_parallel`)
+    /// and the data-parallel device rounds of a sharded run (`wave =
+    /// num_devices`, micro-batch `i` on device `i mod num_devices`).
     ///
     /// Bit-identical to the serial path by the same finalisation argument
     /// the pipelined backends rely on:
     ///
     /// * renders read only their own micro-batch's visibility set, and a
     ///   Gaussian finalised by micro-batch `i` is never in a later set, so
-    ///   rendering every view against the batch-start parameters sees
+    ///   rendering every view against the wave-start parameters sees
     ///   exactly the values the serial path's interleaved renders see;
     /// * losses, gradient accumulations and `apply_finalized` steps are
     ///   then **replayed in the serial micro-batch order**, so every
     ///   floating-point reduction happens in the same order as the serial
-    ///   path.
+    ///   path.  For a sharded run this is the fixed-device-order
+    ///   all-reduce: round `r`'s per-device gradients join the shared
+    ///   buffer as micro-batches `rD, rD+1, …` regardless of which device
+    ///   finished first.
     ///
-    /// The batch is processed in **waves of `compute_threads` views**, so
-    /// at most `compute_threads` staging buffers are ever live — the
-    /// view level must not quietly abandon the bounded-staging-memory
-    /// property the prefetch machinery exists to provide.  Applying a
-    /// wave's finalisation groups before the next wave renders is safe for
-    /// the same reason the serial interleaving is: finalised Gaussians are
-    /// never in any later micro-batch's visibility or fetch set.
+    /// At most `wave` staging buffers are ever live — the wave level must
+    /// not quietly abandon the bounded-staging-memory property the prefetch
+    /// machinery exists to provide.  Applying a wave's finalisation groups
+    /// before the next wave renders is safe for the same reason the serial
+    /// interleaving is: finalised Gaussians are never in any later
+    /// micro-batch's visibility or fetch set.
     ///
-    /// Each view renders with one band thread (the view level owns the
+    /// Each view renders with one band thread (the wave level owns the
     /// workers); band count vs. view count never changes the numerics, only
     /// the schedule.
-    fn train_batch_view_parallel(
+    fn train_batch_waves(
         &mut self,
         plan: &BatchPlan,
         cameras: &[Camera],
         targets: &[Image],
+        wave: usize,
     ) -> BatchReport {
         let m = plan.num_microbatches();
-        let wave = self.config.compute_threads.max(1);
+        let wave = wave.max(1);
         let mut grads = GradientBuffer::for_model(&self.model);
         self.begin_batch(plan, &grads);
 
@@ -884,6 +910,35 @@ mod tests {
         assert_eq!(r_serial, r_views);
         assert_eq!(serial.model(), banded.model());
         assert_eq!(serial.model(), view_parallel.model());
+    }
+
+    #[test]
+    fn sharded_device_rounds_never_change_training() {
+        // Data-parallel sharding is the third pure-scheduling axis: micro-
+        // batches processed in rounds of `num_devices` with the fixed-order
+        // reduction must match the 1-device trainer bit for bit.
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let base = TrainConfig {
+            system: SystemKind::Clm,
+            batch_size: 6,
+            ..Default::default()
+        };
+        let mut serial = Trainer::new(init.clone(), base.clone());
+        let r_serial = serial.train_batch(cams, tgts);
+        for devices in [2usize, 3, 4, 8] {
+            let mut sharded = Trainer::new(
+                init.clone(),
+                TrainConfig {
+                    num_devices: devices,
+                    ..base.clone()
+                },
+            );
+            let r_sharded = sharded.train_batch(cams, tgts);
+            assert_eq!(r_serial, r_sharded, "{devices} devices");
+            assert_eq!(serial.model(), sharded.model(), "{devices} devices");
+        }
     }
 
     #[test]

@@ -53,8 +53,14 @@ pub struct ExecutionReport {
     pub prefetch_window: usize,
     /// Measured wall-clock seconds the batch took on the host.
     pub wall_seconds: f64,
-    /// Per-lane busy seconds (see [`LaneBusy`] for units per backend).
+    /// Per-lane busy seconds (see [`LaneBusy`] for units per backend).  For
+    /// the sharded backend these are summed across devices; the per-device
+    /// breakdown is in [`device_lanes`](Self::device_lanes).
     pub lanes: LaneBusy,
+    /// Per-device lane busy breakdown of a sharded batch, indexed by device
+    /// (simulated device seconds; `scheduling` is 0 per device because the
+    /// host scheduler is shared).  Empty for single-device backends.
+    pub device_lanes: Vec<LaneBusy>,
     /// Simulated makespan in device seconds (simulated backend only).
     pub sim_makespan: Option<f64>,
 }

@@ -8,7 +8,7 @@
 //! `GpuCompute`, gradient stores retire on `GpuComm`, and early-finalised
 //! CPU Adam updates run on the `CpuAdam` lane as soon as their gradients
 //! reach host memory.  Staged rows live in a recycling
-//! [`PinnedBufferPool`](crate::PinnedBufferPool).
+//! [`PinnedBufferPool`].
 //!
 //! The engine's numeric path is exactly the synchronous trainer's: it calls
 //! the same `plan_batch → begin_batch → stage/process/apply_finalized →
@@ -61,6 +61,17 @@ pub struct RuntimeConfig {
     /// the simulated timeline costs and the numerics are unaffected; only
     /// the wall-clock time of executing the lanes inline shrinks.
     pub compute_threads: usize,
+    /// Simulated devices the scene is sharded across (1 = single device).
+    /// [`PipelinedEngine`] is the single-device engine and requires 1; the
+    /// multi-device lane groups live in
+    /// [`ShardedEngine`](crate::ShardedEngine), which accepts any count.
+    pub num_devices: usize,
+    /// Warm start for the tracked prefetch fetch/compute ratio (e.g. a
+    /// [`WarmStartCache`](crate::WarmStartCache) entry recorded by an
+    /// earlier run on the same scene).  `None` cold-starts as before; under
+    /// an adaptive/EWMA policy a warm-started engine picks an adapted
+    /// window on its first batch.
+    pub warm_start_ratio: Option<f64>,
 }
 
 impl Default for RuntimeConfig {
@@ -72,7 +83,48 @@ impl Default for RuntimeConfig {
             cost_scale: 1.0,
             pixel_cost_scale: 1.0,
             compute_threads: 0,
+            num_devices: 1,
+            warm_start_ratio: None,
         }
+    }
+}
+
+/// The discrete-event costing rules shared by the single-device
+/// [`PipelinedEngine`] and the multi-device
+/// [`ShardedEngine`](crate::ShardedEngine): how Gaussian counts, bytes and
+/// pixels translate into simulated device seconds.
+#[derive(Debug, Clone)]
+pub(crate) struct CostModel {
+    pub device: DeviceProfile,
+    pub cost_scale: f64,
+    pub pixel_cost_scale: f64,
+}
+
+impl CostModel {
+    pub fn from_runtime(config: &RuntimeConfig) -> Self {
+        CostModel {
+            device: config.device.clone(),
+            cost_scale: config.cost_scale,
+            pixel_cost_scale: config.pixel_cost_scale,
+        }
+    }
+
+    pub fn scaled_bytes(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.cost_scale).round() as u64
+    }
+
+    pub fn scaled_gaussians(&self, count: usize) -> u64 {
+        (count as f64 * self.cost_scale).round() as u64
+    }
+
+    pub fn scaled_pixels(&self, image: &Image) -> u64 {
+        (image.pixel_count() as f64 * self.pixel_cost_scale).round() as u64
+    }
+
+    pub fn scheduling_time(&self, model_len: usize, plan: &BatchPlan) -> f64 {
+        let n = self.scaled_gaussians(model_len) as f64;
+        let m = plan.num_microbatches() as f64;
+        n * m * CULL_COST_PER_GAUSSIAN_VIEW + m * m * ORDER_COST_PER_PAIR
     }
 }
 
@@ -99,15 +151,21 @@ impl PipelinedEngine {
             config.pixel_cost_scale > 0.0,
             "pixel_cost_scale must be positive"
         );
+        assert!(
+            config.num_devices == 1,
+            "PipelinedEngine is single-device (num_devices must be exactly 1); \
+             use ShardedEngine for multi-device configs"
+        );
         let mut train = train;
         if config.compute_threads > 0 {
             train.compute_threads = config.compute_threads;
         }
+        let window_selector = WindowSelector::warm_started(config.warm_start_ratio);
         PipelinedEngine {
             trainer: Trainer::new(initial_model, train),
             config,
             pool: PinnedBufferPool::new(),
-            window_selector: WindowSelector::new(),
+            window_selector,
         }
     }
 
@@ -126,28 +184,16 @@ impl PipelinedEngine {
         self.pool.stats()
     }
 
+    /// The adaptive-window state (tracked fetch/compute ratios), e.g. for
+    /// recording into a [`WarmStartCache`](crate::WarmStartCache).
+    pub fn window_selector(&self) -> &WindowSelector {
+        &self.window_selector
+    }
+
     /// Mean PSNR of the current model over a set of posed images (delegates
     /// to the trainer).
     pub fn evaluate_psnr(&self, cameras: &[Camera], targets: &[Image]) -> f32 {
         self.trainer.evaluate_psnr(cameras, targets)
-    }
-
-    fn scaled_bytes(&self, bytes: u64) -> u64 {
-        (bytes as f64 * self.config.cost_scale).round() as u64
-    }
-
-    fn scaled_gaussians(&self, count: usize) -> u64 {
-        (count as f64 * self.config.cost_scale).round() as u64
-    }
-
-    fn scaled_pixels(&self, image: &Image) -> u64 {
-        (image.pixel_count() as f64 * self.config.pixel_cost_scale).round() as u64
-    }
-
-    fn scheduling_time(&self, plan: &BatchPlan) -> f64 {
-        let n = self.scaled_gaussians(self.trainer.model().len()) as f64;
-        let m = plan.num_microbatches() as f64;
-        n * m * CULL_COST_PER_GAUSSIAN_VIEW + m * m * ORDER_COST_PER_PAIR
     }
 
     /// Executes one training batch as a pipelined schedule, returning the
@@ -166,6 +212,7 @@ impl PipelinedEngine {
         let plan = self.trainer.plan_batch(cameras);
         let mut grads = GradientBuffer::for_model(self.trainer.model());
         let mut timeline = Timeline::new();
+        let cost = CostModel::from_runtime(&self.config);
         let window = self
             .window_selector
             .choose(self.config.policy, self.config.prefetch_window);
@@ -173,7 +220,7 @@ impl PipelinedEngine {
         let sched = timeline.push(
             OpKind::Scheduling,
             Lane::CpuScheduler,
-            self.scheduling_time(&plan),
+            cost.scheduling_time(self.trainer.model().len(), &plan),
             &[],
         );
 
@@ -186,13 +233,28 @@ impl PipelinedEngine {
                 &mut grads,
                 &mut timeline,
                 sched,
+                &cost,
             ),
-            SystemKind::NaiveOffload => {
-                self.run_naive_batch(&plan, cameras, targets, &mut grads, &mut timeline, sched)
-            }
-            SystemKind::Baseline | SystemKind::EnhancedBaseline => {
-                self.run_gpu_only_batch(&plan, cameras, targets, &mut grads, &mut timeline, sched)
-            }
+            SystemKind::NaiveOffload => run_naive_batch(
+                &mut self.trainer,
+                &cost,
+                &plan,
+                cameras,
+                targets,
+                &mut grads,
+                &mut timeline,
+                sched,
+            ),
+            SystemKind::Baseline | SystemKind::EnhancedBaseline => run_gpu_only_batch(
+                &mut self.trainer,
+                &cost,
+                &plan,
+                cameras,
+                targets,
+                &mut grads,
+                &mut timeline,
+                sched,
+            ),
         };
 
         // Feed the adaptive window policy with this batch's simulated
@@ -232,6 +294,7 @@ impl PipelinedEngine {
     /// The CLM pipeline: windowed gather prefetch on `GpuComm`, compute on
     /// `GpuCompute`, per-transition gradient stores, and early-finalised CPU
     /// Adam on `CpuAdam`.
+    #[allow(clippy::too_many_arguments)]
     fn run_clm_batch(
         &mut self,
         plan: &BatchPlan,
@@ -241,6 +304,7 @@ impl PipelinedEngine {
         grads: &mut GradientBuffer,
         timeline: &mut Timeline,
         sched: OpId,
+        cost: &CostModel,
     ) -> f32 {
         let m = plan.num_microbatches();
         let window = PrefetchWindow::new(window, m);
@@ -253,8 +317,8 @@ impl PipelinedEngine {
             timeline.push(
                 OpKind::CpuAdamUpdate,
                 Lane::CpuAdam,
-                self.config.device.cpu_adam_time(
-                    self.scaled_gaussians(plan.untouched.len()) * PARAMS_PER_GAUSSIAN as u64,
+                cost.device.cpu_adam_time(
+                    cost.scaled_gaussians(plan.untouched.len()) * PARAMS_PER_GAUSSIAN as u64,
                 ),
                 &[sched],
             );
@@ -275,6 +339,7 @@ impl PipelinedEngine {
                 timeline,
                 sched,
                 &mut gather_ops,
+                cost,
             );
             let mut buf = self.pool.acquire(plan.fetched[i].len());
             self.trainer.stage_microbatch(plan, i, &mut buf);
@@ -288,18 +353,18 @@ impl PipelinedEngine {
                 .take()
                 .expect("prefetch schedule must have staged this micro-batch");
 
-            let pixels = self.scaled_pixels(&targets[plan.order[i]]);
-            let gaussians = self.scaled_gaussians(plan.ordered_sets[i].len());
+            let pixels = cost.scaled_pixels(&targets[plan.order[i]]);
+            let gaussians = cost.scaled_gaussians(plan.ordered_sets[i].len());
             let fwd = timeline.push(
                 OpKind::Forward,
                 Lane::GpuCompute,
-                self.config.device.forward_time(gaussians, pixels),
+                cost.device.forward_time(gaussians, pixels),
                 &[gather_ops[i]],
             );
             let bwd = timeline.push(
                 OpKind::Backward,
                 Lane::GpuCompute,
-                self.config.device.backward_time(gaussians, pixels),
+                cost.device.backward_time(gaussians, pixels),
                 &[fwd],
             );
             backward_ops.push(bwd);
@@ -310,11 +375,11 @@ impl PipelinedEngine {
             self.pool.release(buf);
 
             // Retire this micro-batch's finalised gradients to host memory …
-            let store_bytes = self.scaled_bytes(plan.store_bytes(i));
+            let store_bytes = cost.scaled_bytes(plan.store_bytes(i));
             let store = timeline.push_with_bytes(
                 OpKind::StoreGrads,
                 Lane::GpuComm,
-                self.config.device.transfer_time(store_bytes),
+                cost.device.transfer_time(store_bytes),
                 store_bytes,
                 &[bwd],
             );
@@ -328,8 +393,8 @@ impl PipelinedEngine {
                 timeline.push(
                     OpKind::CpuAdamUpdate,
                     Lane::CpuAdam,
-                    self.config.device.cpu_adam_time(
-                        self.scaled_gaussians(group.len()) * PARAMS_PER_GAUSSIAN as u64,
+                    cost.device.cpu_adam_time(
+                        cost.scaled_gaussians(group.len()) * PARAMS_PER_GAUSSIAN as u64,
                     ),
                     &[store],
                 );
@@ -345,6 +410,7 @@ impl PipelinedEngine {
                     timeline,
                     sched,
                     &mut gather_ops,
+                    cost,
                 );
                 let mut buf = self.pool.acquire(plan.fetched[j].len());
                 self.trainer.stage_microbatch(plan, j, &mut buf);
@@ -354,13 +420,11 @@ impl PipelinedEngine {
 
         if !overlapped {
             // Batch-end CPU Adam over the whole model (dense semantics).
-            let n = self.scaled_gaussians(self.trainer.model().len());
+            let n = cost.scaled_gaussians(self.trainer.model().len());
             timeline.push(
                 OpKind::CpuAdamUpdate,
                 Lane::CpuAdam,
-                self.config
-                    .device
-                    .cpu_adam_time(n * PARAMS_PER_GAUSSIAN as u64),
+                cost.device.cpu_adam_time(n * PARAMS_PER_GAUSSIAN as u64),
                 &[last_store],
             );
         }
@@ -379,149 +443,149 @@ impl PipelinedEngine {
         timeline: &mut Timeline,
         sched: OpId,
         gather_ops: &mut Vec<OpId>,
+        cost: &CostModel,
     ) {
         debug_assert_eq!(gather_ops.len(), i, "gathers must be issued in order");
         let mut deps = vec![sched];
         if let Some(compute_of) = window.gather_depends_on_compute_of(i) {
             deps.push(backward_ops[compute_of]);
         }
-        let bytes = self.scaled_bytes(plan.fetch_bytes(i));
+        let bytes = cost.scaled_bytes(plan.fetch_bytes(i));
         let id = timeline.push_with_bytes(
             OpKind::LoadParams,
             Lane::GpuComm,
-            self.config.device.transfer_time(bytes),
+            cost.device.transfer_time(bytes),
             bytes,
             &deps,
         );
         gather_ops.push(id);
     }
+}
 
-    /// Naive (ZeRO-Offload-style) schedule: whole-model upload, serial
-    /// compute, whole-gradient store, then one dense CPU Adam pass — no
-    /// overlap anywhere.
-    fn run_naive_batch(
-        &mut self,
-        plan: &BatchPlan,
-        cameras: &[Camera],
-        targets: &[Image],
-        grads: &mut GradientBuffer,
-        timeline: &mut Timeline,
-        sched: OpId,
-    ) -> f32 {
-        let n = self.trainer.model().len();
-        let full_bytes =
-            self.scaled_bytes((n * PARAMS_PER_GAUSSIAN * gs_core::BYTES_PER_PARAM) as u64);
-        let upload = timeline.push_with_bytes(
-            OpKind::LoadParams,
-            Lane::GpuComm,
-            self.config.device.transfer_time(full_bytes),
-            full_bytes,
+/// Naive (ZeRO-Offload-style) schedule: whole-model upload, serial
+/// compute, whole-gradient store, then one dense CPU Adam pass — no
+/// overlap anywhere.  Shared by the single-device engine and the sharded
+/// engine (which runs the no-overlap comparison systems on device 0).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_naive_batch(
+    trainer: &mut Trainer,
+    cost: &CostModel,
+    plan: &BatchPlan,
+    cameras: &[Camera],
+    targets: &[Image],
+    grads: &mut GradientBuffer,
+    timeline: &mut Timeline,
+    sched: OpId,
+) -> f32 {
+    let n = trainer.model().len();
+    let full_bytes = cost.scaled_bytes((n * PARAMS_PER_GAUSSIAN * gs_core::BYTES_PER_PARAM) as u64);
+    let upload = timeline.push_with_bytes(
+        OpKind::LoadParams,
+        Lane::GpuComm,
+        cost.device.transfer_time(full_bytes),
+        full_bytes,
+        &[sched],
+    );
+
+    trainer.begin_batch(plan, grads);
+    let mut total_loss = 0.0f32;
+    let mut staging = Vec::new();
+    let mut last_bwd = upload;
+    for i in 0..plan.num_microbatches() {
+        let pixels = cost.scaled_pixels(&targets[plan.order[i]]);
+        let gaussians = cost.scaled_gaussians(plan.ordered_sets[i].len());
+        let fwd = timeline.push(
+            OpKind::Forward,
+            Lane::GpuCompute,
+            cost.device.forward_time(gaussians, pixels),
+            &[upload],
+        );
+        let bwd = timeline.push(
+            OpKind::Backward,
+            Lane::GpuCompute,
+            cost.device.backward_time(gaussians, pixels),
+            &[fwd],
+        );
+        last_bwd = bwd;
+        trainer.stage_microbatch(plan, i, &mut staging);
+        total_loss += trainer.process_microbatch(plan, i, cameras, targets, &staging, grads);
+        trainer.apply_finalized(plan, i, grads);
+    }
+
+    let store = timeline.push_with_bytes(
+        OpKind::StoreGrads,
+        Lane::GpuComm,
+        cost.device.transfer_time(full_bytes),
+        full_bytes,
+        &[last_bwd],
+    );
+    timeline.push(
+        OpKind::CpuAdamUpdate,
+        Lane::CpuAdam,
+        cost.device
+            .cpu_adam_time(cost.scaled_gaussians(n) * PARAMS_PER_GAUSSIAN as u64),
+        &[store],
+    );
+    total_loss
+}
+
+/// GPU-only baselines: compute per micro-batch plus a fused GPU Adam
+/// step at batch end; no PCIe traffic at all.  Shared like
+/// [`run_naive_batch`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_gpu_only_batch(
+    trainer: &mut Trainer,
+    cost: &CostModel,
+    plan: &BatchPlan,
+    cameras: &[Camera],
+    targets: &[Image],
+    grads: &mut GradientBuffer,
+    timeline: &mut Timeline,
+    sched: OpId,
+) -> f32 {
+    let n = trainer.model().len();
+    let fused_culling = trainer.config().system == SystemKind::Baseline;
+
+    trainer.begin_batch(plan, grads);
+    let mut total_loss = 0.0f32;
+    let mut staging = Vec::new();
+    let mut last_bwd = sched;
+    for i in 0..plan.num_microbatches() {
+        let pixels = cost.scaled_pixels(&targets[plan.order[i]]);
+        // The plain baseline feeds every Gaussian through the kernels;
+        // the enhanced baseline pre-culls.
+        let count = if fused_culling {
+            n
+        } else {
+            plan.ordered_sets[i].len()
+        };
+        let gaussians = cost.scaled_gaussians(count);
+        let fwd = timeline.push(
+            OpKind::Forward,
+            Lane::GpuCompute,
+            cost.device.forward_time(gaussians, pixels),
             &[sched],
         );
-
-        self.trainer.begin_batch(plan, grads);
-        let mut total_loss = 0.0f32;
-        let mut staging = Vec::new();
-        let mut last_bwd = upload;
-        for i in 0..plan.num_microbatches() {
-            let pixels = self.scaled_pixels(&targets[plan.order[i]]);
-            let gaussians = self.scaled_gaussians(plan.ordered_sets[i].len());
-            let fwd = timeline.push(
-                OpKind::Forward,
-                Lane::GpuCompute,
-                self.config.device.forward_time(gaussians, pixels),
-                &[upload],
-            );
-            let bwd = timeline.push(
-                OpKind::Backward,
-                Lane::GpuCompute,
-                self.config.device.backward_time(gaussians, pixels),
-                &[fwd],
-            );
-            last_bwd = bwd;
-            self.trainer.stage_microbatch(plan, i, &mut staging);
-            total_loss += self
-                .trainer
-                .process_microbatch(plan, i, cameras, targets, &staging, grads);
-            self.trainer.apply_finalized(plan, i, grads);
-        }
-
-        let store = timeline.push_with_bytes(
-            OpKind::StoreGrads,
-            Lane::GpuComm,
-            self.config.device.transfer_time(full_bytes),
-            full_bytes,
-            &[last_bwd],
-        );
-        timeline.push(
-            OpKind::CpuAdamUpdate,
-            Lane::CpuAdam,
-            self.config
-                .device
-                .cpu_adam_time(self.scaled_gaussians(n) * PARAMS_PER_GAUSSIAN as u64),
-            &[store],
-        );
-        total_loss
-    }
-
-    /// GPU-only baselines: compute per micro-batch plus a fused GPU Adam
-    /// step at batch end; no PCIe traffic at all.
-    fn run_gpu_only_batch(
-        &mut self,
-        plan: &BatchPlan,
-        cameras: &[Camera],
-        targets: &[Image],
-        grads: &mut GradientBuffer,
-        timeline: &mut Timeline,
-        sched: OpId,
-    ) -> f32 {
-        let n = self.trainer.model().len();
-        let fused_culling = self.trainer.config().system == SystemKind::Baseline;
-
-        self.trainer.begin_batch(plan, grads);
-        let mut total_loss = 0.0f32;
-        let mut staging = Vec::new();
-        let mut last_bwd = sched;
-        for i in 0..plan.num_microbatches() {
-            let pixels = self.scaled_pixels(&targets[plan.order[i]]);
-            // The plain baseline feeds every Gaussian through the kernels;
-            // the enhanced baseline pre-culls.
-            let count = if fused_culling {
-                n
-            } else {
-                plan.ordered_sets[i].len()
-            };
-            let gaussians = self.scaled_gaussians(count);
-            let fwd = timeline.push(
-                OpKind::Forward,
-                Lane::GpuCompute,
-                self.config.device.forward_time(gaussians, pixels),
-                &[sched],
-            );
-            let bwd = timeline.push(
-                OpKind::Backward,
-                Lane::GpuCompute,
-                self.config.device.backward_time(gaussians, pixels),
-                &[fwd],
-            );
-            last_bwd = bwd;
-            self.trainer.stage_microbatch(plan, i, &mut staging);
-            total_loss += self
-                .trainer
-                .process_microbatch(plan, i, cameras, targets, &staging, grads);
-            self.trainer.apply_finalized(plan, i, grads);
-        }
-
-        timeline.push(
-            OpKind::GpuAdamUpdate,
+        let bwd = timeline.push(
+            OpKind::Backward,
             Lane::GpuCompute,
-            self.config
-                .device
-                .gpu_adam_time(self.scaled_gaussians(n) * PARAMS_PER_GAUSSIAN as u64),
-            &[last_bwd],
+            cost.device.backward_time(gaussians, pixels),
+            &[fwd],
         );
-        total_loss
+        last_bwd = bwd;
+        trainer.stage_microbatch(plan, i, &mut staging);
+        total_loss += trainer.process_microbatch(plan, i, cameras, targets, &staging, grads);
+        trainer.apply_finalized(plan, i, grads);
     }
+
+    timeline.push(
+        OpKind::GpuAdamUpdate,
+        Lane::GpuCompute,
+        cost.device
+            .gpu_adam_time(cost.scaled_gaussians(n) * PARAMS_PER_GAUSSIAN as u64),
+        &[last_bwd],
+    );
+    total_loss
 }
 
 impl ExecutionBackend for PipelinedEngine {
@@ -552,6 +616,7 @@ impl ExecutionBackend for PipelinedEngine {
                 adam: t.busy_time(Lane::CpuAdam),
                 scheduling: t.busy_time(Lane::CpuScheduler),
             },
+            device_lanes: Vec::new(),
             sim_makespan: Some(t.makespan()),
             batch: report.batch,
         }

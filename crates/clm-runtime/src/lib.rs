@@ -20,6 +20,12 @@
 //! * [`ThreadedBackend`] / [`ThreadedConfig`] — the threaded backend: the
 //!   gather and CPU Adam lanes run on dedicated worker threads
 //!   ([`workers`]), so the overlap is real and wall-clock measurable;
+//! * [`ShardedEngine`] — the multi-GPU backend: N per-device lane groups
+//!   (gather / compute / CPU Adam) on one shared timeline, fed by
+//!   `gs_scene`'s visibility-aware Gaussian partitioner, with data-parallel
+//!   micro-batches and a fixed-device-order gradient all-reduce that keeps
+//!   the trajectory bit-identical to the 1-device trainer for any shard
+//!   count;
 //! * [`ExecutionBackend`] / [`ExecutionReport`] — the common abstraction
 //!   the benchmark harness drives both backends through;
 //! * [`IterationReport`] — per-iteration makespan, per-lane busy/idle time
@@ -62,14 +68,16 @@ pub mod engine;
 pub mod pool;
 pub mod prefetch;
 pub mod report;
+pub mod sharded;
 pub mod threaded;
 pub mod workers;
 
 pub use backend::{ExecutionBackend, ExecutionReport, LaneBusy};
 pub use engine::{PipelinedEngine, RuntimeConfig};
 pub use pool::{PinnedBufferPool, PoolStats, StagingBuffer};
-pub use prefetch::{PrefetchPolicy, PrefetchWindow, WindowSelector};
+pub use prefetch::{PrefetchPolicy, PrefetchWindow, WarmStartCache, WindowSelector};
 pub use report::{IterationReport, LaneReport};
+pub use sharded::{ShardedEngine, PEER_HOP_FACTOR};
 pub use threaded::{ThreadedBackend, ThreadedConfig};
 pub use workers::{spawn_lane, BusyTimer, WorkerLane};
 
@@ -531,6 +539,154 @@ mod tests {
             models.push(backend.trainer().model().clone());
         }
         assert_eq!(models[0], models[1], "backends agree on the numerics");
+    }
+
+    #[test]
+    fn sharded_single_device_reproduces_the_pipelined_schedule_exactly() {
+        // num_devices = 1 must degenerate to the single-device engine in
+        // every observable way: numerics, makespan, per-lane busy times and
+        // pinned-pool behaviour.
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let train = TrainConfig::default();
+        let mut sharded = ShardedEngine::new(
+            init.clone(),
+            train.clone(),
+            runtime_config(2),
+            &dataset.cameras,
+        );
+        let mut engine = PipelinedEngine::new(init, train, runtime_config(2));
+        for _ in 0..2 {
+            let s = sharded.run_batch(cams, tgts);
+            let p = engine.run_batch(cams, tgts);
+            assert_eq!(s.batch, p.batch);
+            assert!((s.makespan() - p.makespan()).abs() < 1e-15, "same schedule");
+            for lane in Lane::ALL {
+                assert!(
+                    (s.timeline.busy_time(lane) - p.timeline.busy_time(lane)).abs() < 1e-15,
+                    "{lane:?}"
+                );
+            }
+        }
+        assert_eq!(sharded.trainer().model(), engine.trainer().model());
+        assert_eq!(sharded.pool_stats(), engine.pool_stats());
+        assert_eq!(sharded.cross_shard_rows(), 0, "one device owns everything");
+    }
+
+    #[test]
+    fn sharded_devices_overlap_compute_across_lane_groups() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let makespan_of = |devices: usize| {
+            let mut engine = ShardedEngine::new(
+                init.clone(),
+                TrainConfig::default(),
+                RuntimeConfig {
+                    num_devices: devices,
+                    // Paper-scale costing so the schedule is dominated by
+                    // simulated device time, not constant offsets.
+                    cost_scale: 1000.0,
+                    ..runtime_config(2)
+                },
+                &dataset.cameras,
+            );
+            engine.run_batch(cams, tgts).makespan()
+        };
+        let one = makespan_of(1);
+        let two = makespan_of(2);
+        assert!(
+            two < one,
+            "two device lane groups must shorten the schedule: {two} vs {one}"
+        );
+    }
+
+    #[test]
+    fn threaded_sharded_rounds_match_the_serial_backend() {
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let train = TrainConfig::default();
+        let mut serial =
+            ThreadedBackend::new(init.clone(), train.clone(), ThreadedConfig::default());
+        let mut sharded = ThreadedBackend::new(
+            init.clone(),
+            train,
+            ThreadedConfig {
+                num_devices: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(sharded.trainer().config().num_devices, 3);
+        for _ in 0..2 {
+            let a = serial.run_batch(cams, tgts);
+            let b = sharded.run_batch(cams, tgts);
+            assert_eq!(a.batch, b.batch);
+            // The round needs D buffers in flight: the window is floored.
+            assert!(b.prefetch_window >= 2);
+        }
+        assert_eq!(serial.trainer().model(), sharded.trainer().model());
+    }
+
+    #[test]
+    fn warm_started_ewma_adapts_on_the_first_batch() {
+        // The per-scene warm start closes PR 3's leftover: a run seeded
+        // with a previously recorded fetch/compute ratio must not fall
+        // back to the configured seed window on its first batch.
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let config = |warm: Option<f64>| RuntimeConfig {
+            prefetch_window: 2,
+            policy: PrefetchPolicy::Ewma {
+                alpha: 0.3,
+                min: 1,
+                max: 8,
+            },
+            cost_scale: 1000.0,
+            warm_start_ratio: warm,
+            ..Default::default()
+        };
+        let mut cold = PipelinedEngine::new(init.clone(), TrainConfig::default(), config(None));
+        let first_cold = cold.run_batch(cams, tgts);
+        assert_eq!(first_cold.prefetch_window, 2, "cold start uses the seed");
+
+        // Record the trained ratio per scene and warm-start a fresh engine.
+        let mut cache = WarmStartCache::new();
+        assert!(cache.record("bicycle-tiny", cold.window_selector()));
+        let mut warm = PipelinedEngine::new(
+            init.clone(),
+            TrainConfig::default(),
+            config(cache.ratio("bicycle-tiny")),
+        );
+        let first_warm = warm.run_batch(cams, tgts);
+        let expected = PrefetchPolicy::Ewma {
+            alpha: 0.3,
+            min: 1,
+            max: 8,
+        }
+        .choose_window(2, cache.ratio("bicycle-tiny"));
+        assert_eq!(
+            first_warm.prefetch_window, expected,
+            "warm start adapts the first batch"
+        );
+        // Warm starts are pure scheduling.
+        assert_eq!(first_cold.batch, first_warm.batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "use ShardedEngine")]
+    fn pipelined_engine_rejects_multi_device_configs() {
+        let (_, _, init) = tiny_setup();
+        let _ = PipelinedEngine::new(
+            init,
+            TrainConfig::default(),
+            RuntimeConfig {
+                num_devices: 2,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

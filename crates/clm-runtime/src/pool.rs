@@ -206,4 +206,63 @@ mod tests {
         let mut pool = PinnedBufferPool::new();
         pool.release(StagingBuffer::new());
     }
+
+    #[test]
+    fn two_device_lanes_contending_share_one_high_water_budget() {
+        // Regression guard for the sharded gather path: two device lane
+        // groups draw staging buffers from one shared pool.  Two real
+        // threads each hold `per_lane` buffers simultaneously (a barrier
+        // forces the overlap), so the high-water mark must account for the
+        // sum of both lanes' frontiers — not either lane alone — and
+        // buffers released by one lane must recycle into the other.
+        use std::sync::{Barrier, Mutex};
+
+        let pool = Mutex::new(PinnedBufferPool::new());
+        let barrier = Barrier::new(2);
+        let per_lane = 3usize;
+        let rounds = 4usize;
+
+        std::thread::scope(|scope| {
+            for lane in 0..2 {
+                let pool = &pool;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        let mut held = Vec::with_capacity(per_lane);
+                        for slot in 0..per_lane {
+                            // Differing row counts per lane/slot so buffers
+                            // genuinely grow and recycling is observable.
+                            let rows = 16 * (lane + 1) * (slot + 1) + round;
+                            held.push(pool.lock().unwrap().acquire(rows));
+                        }
+                        // Both lanes hold their full frontier before either
+                        // releases: the contention point.
+                        barrier.wait();
+                        let mut pool = pool.lock().unwrap();
+                        for buf in held {
+                            pool.release(buf);
+                        }
+                        drop(pool);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+
+        let pool = pool.into_inner().unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.outstanding, 0, "both lanes returned everything");
+        assert_eq!(stats.acquires, (2 * per_lane * rounds) as u64);
+        assert_eq!(
+            stats.high_water_buffers,
+            2 * per_lane,
+            "the barrier guarantees both frontiers were live at once: {stats:?}"
+        );
+        assert!(
+            stats.recycled >= (2 * per_lane * (rounds - 1)) as u64,
+            "later rounds must run from recycled buffers: {stats:?}"
+        );
+        assert_eq!(pool.free_buffers(), 2 * per_lane);
+        assert!(stats.high_water_bytes >= pool.owned_bytes());
+    }
 }

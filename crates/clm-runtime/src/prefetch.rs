@@ -90,6 +90,24 @@ impl WindowSelector {
         Self::default()
     }
 
+    /// Creates a selector warm-started from a previously observed
+    /// fetch/compute ratio (e.g. a [`WarmStartCache`] entry recorded by an
+    /// earlier run on the same scene), so [`PrefetchPolicy::Adaptive`] and
+    /// [`PrefetchPolicy::Ewma`] pick an adapted window on the **first**
+    /// batch instead of falling back to the configured seed window.
+    ///
+    /// Non-finite or negative ratios (and `None`) cold-start like
+    /// [`new`](Self::new).
+    pub fn warm_started(ratio: Option<f64>) -> Self {
+        match ratio {
+            Some(r) if r.is_finite() && r >= 0.0 => WindowSelector {
+                last_fetch_compute_ratio: Some(r),
+                smoothed_fetch_compute_ratio: Some(r),
+            },
+            _ => Self::default(),
+        }
+    }
+
     /// Chooses the window for the next batch under `policy`.
     pub fn choose(&self, policy: PrefetchPolicy, fixed: usize) -> usize {
         let tracked = match policy {
@@ -133,6 +151,59 @@ impl WindowSelector {
     /// observed.
     pub fn smoothed_ratio(&self) -> Option<f64> {
         self.smoothed_fetch_compute_ratio
+    }
+}
+
+/// Per-scene warm starts for the tracked prefetch ratio.
+///
+/// `PrefetchPolicy::Ewma` used to cold-start every run: the first batch of a
+/// scene always fell back to the configured seed window, even when the same
+/// scene had just been trained and its steady-state fetch/compute ratio was
+/// known.  The cache closes that loop: after a run, record the backend's
+/// [`WindowSelector`] under the scene's label; before the next run on that
+/// scene, seed the backend with the stored ratio
+/// (`RuntimeConfig::warm_start_ratio` / `ThreadedConfig::warm_start_ratio`),
+/// and the first batch starts from the smoothed steady state instead of the
+/// seed window.  Warm starts never change numerics — only the first batch's
+/// staging-buffer budget.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStartCache {
+    ratios: std::collections::HashMap<String, f64>,
+}
+
+impl WarmStartCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `selector`'s smoothed fetch/compute ratio under `scene`.
+    /// Returns `false` (leaving any previous entry in place) when the
+    /// selector has not observed a batch yet.
+    pub fn record(&mut self, scene: &str, selector: &WindowSelector) -> bool {
+        match selector.smoothed_ratio() {
+            Some(r) if r.is_finite() => {
+                self.ratios.insert(scene.to_string(), r);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The stored warm-start ratio for `scene`, if any — pass it to the
+    /// backend config's `warm_start_ratio`.
+    pub fn ratio(&self, scene: &str) -> Option<f64> {
+        self.ratios.get(scene).copied()
+    }
+
+    /// Number of scenes with a recorded ratio.
+    pub fn len(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// Whether no scene has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ratios.is_empty()
     }
 }
 
@@ -357,6 +428,56 @@ mod tests {
         assert_eq!(p.choose_window(2, Some(2.3)), 3);
         assert_eq!(p.choose_window(2, Some(50.0)), 6);
         assert_eq!(p.choose_window(2, Some(-3.0)), 1);
+    }
+
+    #[test]
+    fn warm_started_selector_adapts_on_the_first_batch() {
+        let ewma = PrefetchPolicy::Ewma {
+            alpha: 0.2,
+            min: 1,
+            max: 8,
+        };
+        // Cold start: the first choice is the seed window.
+        assert_eq!(WindowSelector::new().choose(ewma, 2), 2);
+        // Warm start: the first choice already reflects the stored ratio.
+        let warm = WindowSelector::warm_started(Some(3.4));
+        assert_eq!(warm.choose(ewma, 2), 4);
+        assert_eq!(warm.smoothed_ratio(), Some(3.4));
+        assert_eq!(
+            warm.choose(PrefetchPolicy::Adaptive { min: 1, max: 8 }, 2),
+            4
+        );
+        // Degenerate seeds cold-start instead of poisoning the average.
+        for bad in [None, Some(f64::NAN), Some(-1.0), Some(f64::INFINITY)] {
+            assert_eq!(WindowSelector::warm_started(bad).choose(ewma, 2), 2);
+        }
+    }
+
+    #[test]
+    fn warm_start_cache_round_trips_per_scene() {
+        let ewma = PrefetchPolicy::Ewma {
+            alpha: 0.5,
+            min: 1,
+            max: 8,
+        };
+        let mut cache = WarmStartCache::new();
+        assert!(cache.is_empty());
+        // An unobserved selector must not create an entry.
+        assert!(!cache.record("bicycle", &WindowSelector::new()));
+        assert_eq!(cache.ratio("bicycle"), None);
+
+        let mut sel = WindowSelector::new();
+        sel.observe(ewma, 4.0, 1.0);
+        sel.observe(ewma, 2.0, 1.0);
+        assert!(cache.record("bicycle", &sel));
+        assert_eq!(cache.len(), 1);
+        let stored = cache.ratio("bicycle").expect("recorded");
+        assert_eq!(Some(stored), sel.smoothed_ratio());
+        // Seeding a fresh selector from the cache reproduces the choice the
+        // trained selector would make — scenes warm-start independently.
+        let warm = WindowSelector::warm_started(cache.ratio("bicycle"));
+        assert_eq!(warm.choose(ewma, 1), sel.choose(ewma, 1));
+        assert_eq!(cache.ratio("rubble"), None);
     }
 
     #[test]

@@ -64,15 +64,44 @@ impl IterationReport {
         }
     }
 
-    /// All four lanes in display order.
+    /// The four **single-device** lanes in display order (device 0's
+    /// compute/comm/Adam plus the shared scheduler).  A multi-device report
+    /// from the sharded engine has further `Device*` lanes on its timeline —
+    /// use [`device_lane_group`](Self::device_lane_group) /
+    /// [`all_device_lanes`](Self::all_device_lanes) to read them; this
+    /// method alone under-counts a sharded schedule.
     pub fn lanes(&self) -> Vec<LaneReport> {
         Lane::ALL.iter().map(|&l| self.lane(l)).collect()
     }
 
+    /// Busy/idle accounting of one device's lane group (compute, comm, CPU
+    /// Adam — in that order).  Device 0 maps to the classic GPU lanes.
+    pub fn device_lane_group(&self, device: usize) -> [LaneReport; 3] {
+        [
+            self.lane(Lane::compute_of(device)),
+            self.lane(Lane::comm_of(device)),
+            self.lane(Lane::adam_of(device)),
+        ]
+    }
+
+    /// Lane groups of every device in a sharded schedule, in device order.
+    pub fn all_device_lanes(&self, num_devices: usize) -> Vec<[LaneReport; 3]> {
+        (0..num_devices)
+            .map(|d| self.device_lane_group(d))
+            .collect()
+    }
+
     /// Fraction of the makespan the GPU compute lane sat idle — the paper's
-    /// headline overlap metric (Figure 15).
+    /// headline overlap metric (Figure 15).  For a multi-device report this
+    /// is **device 0's** compute lane; see
+    /// [`device_idle_fraction`](Self::device_idle_fraction) for the others.
     pub fn gpu_idle_fraction(&self) -> f64 {
         self.timeline.idle_fraction(Lane::GpuCompute)
+    }
+
+    /// Fraction of the makespan `device`'s compute lane sat idle.
+    pub fn device_idle_fraction(&self, device: usize) -> f64 {
+        self.timeline.idle_fraction(Lane::compute_of(device))
     }
 
     /// CPU→GPU bytes moved on the costed timeline.
@@ -122,5 +151,38 @@ mod tests {
         assert_eq!(r.comm_bytes_h2d(), 100);
         assert_eq!(r.comm_bytes_d2h(), 40);
         assert_eq!(r.lanes().len(), 4);
+    }
+
+    #[test]
+    fn device_lane_helpers_cover_sharded_timelines() {
+        let mut t = Timeline::new();
+        t.push(OpKind::Forward, Lane::compute_of(0), 1.0, &[]);
+        t.push(OpKind::Forward, Lane::compute_of(1), 2.0, &[]);
+        t.push_with_bytes(OpKind::LoadParams, Lane::comm_of(1), 1.0, 10, &[]);
+        let r = IterationReport {
+            batch: BatchReport {
+                loss: 0.1,
+                touched: 1,
+                bytes_loaded: 10,
+                bytes_stored: 0,
+                order: vec![0, 1],
+            },
+            timeline: t,
+            views: 2,
+            prefetch_window: 0,
+        };
+        // Device 0's group is the classic lanes; device 1's lanes are only
+        // visible through the device-aware helpers.
+        let groups = r.all_device_lanes(2);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0][0].busy, 1.0);
+        assert_eq!(groups[1][0].busy, 2.0);
+        assert_eq!(groups[1][1].busy, 1.0);
+        assert_eq!(groups[0][0].lane, Lane::GpuCompute);
+        assert_eq!(groups[1][0].lane, Lane::DeviceCompute(1));
+        // lanes() alone sees only device 0's compute busy time.
+        let classic: f64 = r.lanes().iter().map(|l| l.busy).sum();
+        assert_eq!(classic, 1.0);
+        assert!(r.device_idle_fraction(1) < r.device_idle_fraction(0));
     }
 }

@@ -1,0 +1,609 @@
+//! Multi-device (sharded) execution of the CLM trainer.
+//!
+//! [`ShardedEngine`] is the N-device generalisation of the single-device
+//! [`PipelinedEngine`](crate::PipelinedEngine): one scene trains across
+//! `num_devices` simulated GPUs, each with its own **lane group** — a
+//! gather/communication lane, a compute lane and a CPU Adam lane
+//! ([`Lane::comm_of`], [`Lane::compute_of`], [`Lane::adam_of`]) — all driven
+//! on one shared [`sim_device::Timeline`], so cross-device overlap and the
+//! makespan come out of the same discrete-event scheduler the single-device
+//! figures use.
+//!
+//! # Execution model (data-parallel micro-batches)
+//!
+//! * **Views**: micro-batch `i` of the planned batch runs on device
+//!   `i mod num_devices` — each device renders its own view subset, with
+//!   its own prefetch window over its local micro-batch sequence.
+//! * **Gaussians**: a visibility-aware partition
+//!   ([`gs_scene::partition_by_footprint`]) assigns every Gaussian an owner
+//!   device by balancing projected-footprint load.  The owner's pinned host
+//!   pool holds the Gaussian's offloaded attributes and optimiser state:
+//!   gathers of rows owned by another device pay an extra peer hop
+//!   ([`PEER_HOP_FACTOR`]), and each finalisation group's CPU Adam update is
+//!   split across the owners' Adam lanes.
+//! * **Gradients**: before a finalisation group's Adam update, its
+//!   gradients are all-reduced across the devices in **fixed device order**
+//!   (a chain of [`OpKind::AllReduce`] ops on the comm lanes, device 0
+//!   first).
+//!
+//! # Why the trajectory is bit-identical for every shard count
+//!
+//! The engine drives the same stepwise trainer sequence as every other
+//! backend, and the reduction order is fixed by construction: losses,
+//! gradient accumulations and finalised Adam steps are replayed in the
+//! serial micro-batch order `0, 1, 2, …` regardless of which device
+//! computed them (round `r`'s per-device results join the shared gradient
+//! buffer as micro-batches `rD, rD+1, …`).  Renders are pure and read only
+//! their own micro-batch's visibility set, and a Gaussian finalised by
+//! micro-batch `i` is never in a later micro-batch's visibility or fetch
+//! set, so neither prefetched staging nor deferred reduction can observe a
+//! different value than the synchronous trainer's.  Sharding therefore
+//! changes *where* and *when* work is costed — never *what* is computed;
+//! `tests/sharded_runtime.rs` asserts the trajectory equality for device
+//! counts {1, 2, 4} across seeds, and CI's `shard-matrix` job gates on it.
+//!
+//! With `num_devices = 1` the schedule degenerates to exactly the
+//! single-device engine's: the same ops on the same (classic) lanes with
+//! the same durations and dependencies, so makespan and per-lane busy times
+//! match [`PipelinedEngine`](crate::PipelinedEngine) to the last bit.
+//!
+//! The no-overlap comparison systems (`Baseline`, `EnhancedBaseline`,
+//! `NaiveOffload`) are not sharded — they run their single-device schedules
+//! on device 0, mirroring how the paper's baselines are measured.
+
+use crate::backend::{ExecutionBackend, ExecutionReport, LaneBusy};
+use crate::engine::{run_gpu_only_batch, run_naive_batch, CostModel, RuntimeConfig};
+use crate::pool::{PinnedBufferPool, StagingBuffer};
+use crate::prefetch::{PrefetchWindow, WindowSelector};
+use crate::report::IterationReport;
+use clm_core::{BatchPlan, SystemKind, TrainConfig, Trainer, GRADIENT_BYTES};
+use gs_core::camera::Camera;
+use gs_core::gaussian::GaussianModel;
+use gs_core::PARAMS_PER_GAUSSIAN;
+use gs_optim::GradientBuffer;
+use gs_render::Image;
+use gs_scene::{partition_by_footprint, Dataset, GaussianPartition};
+use sim_device::{Lane, OpId, OpKind, Timeline};
+
+/// Cost multiplier for gathering a row whose owner is another device: the
+/// copy crosses from the owner's pinned pool through host memory before the
+/// fetching device's DMA engine sees it — one extra hop at PCIe cost.
+pub const PEER_HOP_FACTOR: f64 = 2.0;
+
+/// A trainer executing across several simulated devices as one
+/// discrete-event pipeline (see the module docs for the execution model).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    trainer: Trainer,
+    config: RuntimeConfig,
+    partition: GaussianPartition,
+    pool: PinnedBufferPool,
+    window_selector: WindowSelector,
+    /// Staged rows served from the fetching device's own shard so far.
+    local_rows: u64,
+    /// Staged rows that crossed shards (owner ≠ fetching device) so far.
+    cross_shard_rows: u64,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine around an initial model.  `cameras` are the
+    /// views the visibility-aware partitioner balances the Gaussians'
+    /// projected footprints over (normally the training dataset's cameras).
+    ///
+    /// # Panics
+    /// Panics if `config.num_devices` is 0 or exceeds the timeline's device
+    /// range, or if a cost scale is not strictly positive.
+    pub fn new(
+        initial_model: GaussianModel,
+        train: TrainConfig,
+        config: RuntimeConfig,
+        cameras: &[Camera],
+    ) -> Self {
+        assert!(config.num_devices >= 1, "num_devices must be at least 1");
+        assert!(
+            config.num_devices <= Lane::MAX_DEVICE + 1,
+            "num_devices must fit the timeline's device-lane range"
+        );
+        assert!(config.cost_scale > 0.0, "cost_scale must be positive");
+        assert!(
+            config.pixel_cost_scale > 0.0,
+            "pixel_cost_scale must be positive"
+        );
+        let mut train = train;
+        if config.compute_threads > 0 {
+            train.compute_threads = config.compute_threads;
+        }
+        // The trainer's config mirrors the engine's shard count so reports
+        // and introspection agree; the engine drives the stepwise API
+        // itself, so this never re-shards the numeric path.
+        train.num_devices = config.num_devices;
+        // The footprint sweep projects every culled Gaussian for every
+        // camera — comparable to a render pass.  Only the CLM pipeline
+        // consults the partition (the comparison systems run their
+        // single-device schedules on device 0), so don't pay for it there.
+        let partition = if train.system == SystemKind::Clm {
+            partition_by_footprint(&initial_model, cameras, config.num_devices)
+        } else {
+            GaussianPartition::single_device(initial_model.len())
+        };
+        let window_selector = WindowSelector::warm_started(config.warm_start_ratio);
+        ShardedEngine {
+            trainer: Trainer::new(initial_model, train),
+            config,
+            partition,
+            pool: PinnedBufferPool::new(),
+            window_selector,
+            local_rows: 0,
+            cross_shard_rows: 0,
+        }
+    }
+
+    /// The wrapped trainer (model, config, counters).
+    pub fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The Gaussian→device ownership partition in force (trivial for the
+    /// non-CLM comparison systems, which never consult it).
+    pub fn partition(&self) -> &GaussianPartition {
+        &self.partition
+    }
+
+    /// Recomputes the ownership partition from the current model (e.g.
+    /// after densification changed the Gaussian population).  Pure
+    /// scheduling: ownership never affects the numerics.
+    pub fn repartition(&mut self, cameras: &[Camera]) {
+        if self.trainer.config().system == SystemKind::Clm {
+            self.partition =
+                partition_by_footprint(self.trainer.model(), cameras, self.config.num_devices);
+        }
+    }
+
+    /// Pinned staging-pool statistics accumulated so far (one shared pool;
+    /// all device gather lanes draw from it).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
+    /// The adaptive-window state (tracked fetch/compute ratios), e.g. for
+    /// recording into a [`WarmStartCache`](crate::WarmStartCache).
+    pub fn window_selector(&self) -> &WindowSelector {
+        &self.window_selector
+    }
+
+    /// Staged rows served from the fetching device's own shard so far.
+    pub fn local_rows(&self) -> u64 {
+        self.local_rows
+    }
+
+    /// Staged rows whose owner was another device (each paid the
+    /// [`PEER_HOP_FACTOR`] on the gather lane) so far.
+    pub fn cross_shard_rows(&self) -> u64 {
+        self.cross_shard_rows
+    }
+
+    /// Mean PSNR of the current model over a set of posed images (delegates
+    /// to the trainer).
+    pub fn evaluate_psnr(&self, cameras: &[Camera], targets: &[Image]) -> f32 {
+        self.trainer.evaluate_psnr(cameras, targets)
+    }
+
+    /// Executes one training batch across the device lane groups, returning
+    /// the numeric batch report together with the executed timeline.
+    ///
+    /// # Panics
+    /// Panics if `cameras` and `targets` differ in length or are empty.
+    pub fn run_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> IterationReport {
+        assert_eq!(
+            cameras.len(),
+            targets.len(),
+            "need one target image per camera"
+        );
+        assert!(!cameras.is_empty(), "batch must contain at least one view");
+
+        let plan = self.trainer.plan_batch(cameras);
+        let mut grads = GradientBuffer::for_model(self.trainer.model());
+        let mut timeline = Timeline::new();
+        let cost = CostModel::from_runtime(&self.config);
+        let window = self
+            .window_selector
+            .choose(self.config.policy, self.config.prefetch_window);
+
+        let sched = timeline.push(
+            OpKind::Scheduling,
+            Lane::CpuScheduler,
+            cost.scheduling_time(self.trainer.model().len(), &plan),
+            &[],
+        );
+
+        let total_loss = match self.trainer.config().system {
+            SystemKind::Clm => self.run_clm_sharded(
+                &plan,
+                window,
+                cameras,
+                targets,
+                &mut grads,
+                &mut timeline,
+                sched,
+                &cost,
+            ),
+            SystemKind::NaiveOffload => run_naive_batch(
+                &mut self.trainer,
+                &cost,
+                &plan,
+                cameras,
+                targets,
+                &mut grads,
+                &mut timeline,
+                sched,
+            ),
+            SystemKind::Baseline | SystemKind::EnhancedBaseline => run_gpu_only_batch(
+                &mut self.trainer,
+                &cost,
+                &plan,
+                cameras,
+                targets,
+                &mut grads,
+                &mut timeline,
+                sched,
+            ),
+        };
+
+        if self.trainer.config().system == SystemKind::Clm {
+            self.window_selector.observe(
+                self.config.policy,
+                timeline.time_by_kind(OpKind::LoadParams),
+                timeline.time_by_kind(OpKind::Forward) + timeline.time_by_kind(OpKind::Backward),
+            );
+        }
+
+        let batch = self.trainer.finish_batch(&plan, &grads, total_loss);
+        IterationReport {
+            batch,
+            timeline,
+            views: cameras.len(),
+            prefetch_window: window,
+        }
+    }
+
+    /// Trains over the whole dataset once (views grouped into batches in
+    /// trajectory order), returning the per-iteration reports.
+    pub fn run_epoch(&mut self, dataset: &Dataset, targets: &[Image]) -> Vec<IterationReport> {
+        assert_eq!(dataset.cameras.len(), targets.len());
+        let batch = self.trainer.config().batch_size.max(1);
+        let mut reports = Vec::new();
+        let mut start = 0;
+        while start < dataset.cameras.len() {
+            let end = (start + batch).min(dataset.cameras.len());
+            reports.push(self.run_batch(&dataset.cameras[start..end], &targets[start..end]));
+            start = end;
+        }
+        reports
+    }
+
+    /// The sharded CLM pipeline: per-device windowed gather prefetch,
+    /// per-device compute, fixed-order all-reduce, owner-sharded CPU Adam.
+    #[allow(clippy::too_many_arguments)]
+    fn run_clm_sharded(
+        &mut self,
+        plan: &BatchPlan,
+        window: usize,
+        cameras: &[Camera],
+        targets: &[Image],
+        grads: &mut GradientBuffer,
+        timeline: &mut Timeline,
+        sched: OpId,
+        cost: &CostModel,
+    ) -> f32 {
+        let devices = self.config.num_devices;
+        let m = plan.num_microbatches();
+        let overlapped = self.trainer.overlapped();
+        // Device d's local micro-batch sequence is d, d + D, d + 2D, …;
+        // each device gets its own prefetch window over that sequence.
+        let local_len = |d: usize| (m + devices - 1 - d) / devices;
+        let windows: Vec<PrefetchWindow> = (0..devices)
+            .map(|d| PrefetchWindow::new(window, local_len(d)))
+            .collect();
+
+        self.trainer.begin_batch(plan, grads);
+        if overlapped {
+            // F_0: Gaussians the batch never touches are final from the
+            // start; each owner device updates its shard immediately.
+            for (dev, count) in self
+                .partition
+                .split_counts(plan.untouched.indices())
+                .iter()
+                .enumerate()
+            {
+                timeline.push(
+                    OpKind::CpuAdamUpdate,
+                    Lane::adam_of(dev),
+                    cost.device
+                        .cpu_adam_time(cost.scaled_gaussians(*count) * PARAMS_PER_GAUSSIAN as u64),
+                    &[sched],
+                );
+            }
+        }
+
+        let mut gather_ops: Vec<Option<OpId>> = vec![None; m];
+        let mut backward_ops: Vec<Option<OpId>> = vec![None; m];
+        let mut staging_slots: Vec<Option<StagingBuffer>> = (0..m).map(|_| None).collect();
+        let mut last_store: Vec<Option<OpId>> = vec![None; devices];
+        let mut last_allreduce: Option<OpId> = None;
+
+        // Initial prefetch frontier, device-major: every device fills its
+        // own window before any compute is issued.
+        for dev in 0..devices {
+            for k in windows[dev].issuable_after(None) {
+                let i = k * devices + dev;
+                let (id, buf) = self
+                    .issue_gather(plan, i, &windows, &backward_ops, timeline, sched, cost)
+                    .expect("frontier indices are in range");
+                gather_ops[i] = Some(id);
+                staging_slots[i] = Some(buf);
+            }
+        }
+
+        let mut total_loss = 0.0f32;
+        for i in 0..m {
+            let dev = i % devices;
+            let k = i / devices;
+            let buf = staging_slots[i]
+                .take()
+                .expect("prefetch schedule must have staged this micro-batch");
+
+            let pixels = cost.scaled_pixels(&targets[plan.order[i]]);
+            let gaussians = cost.scaled_gaussians(plan.ordered_sets[i].len());
+            let fwd = timeline.push(
+                OpKind::Forward,
+                Lane::compute_of(dev),
+                cost.device.forward_time(gaussians, pixels),
+                &[gather_ops[i].expect("gather issued before compute")],
+            );
+            let bwd = timeline.push(
+                OpKind::Backward,
+                Lane::compute_of(dev),
+                cost.device.backward_time(gaussians, pixels),
+                &[fwd],
+            );
+            backward_ops[i] = Some(bwd);
+
+            total_loss += self
+                .trainer
+                .process_microbatch(plan, i, cameras, targets, &buf, grads);
+            self.pool.release(buf);
+
+            // Retire this micro-batch's finalised gradients to the device's
+            // host shard …
+            let store_bytes = cost.scaled_bytes(plan.store_bytes(i));
+            let store = timeline.push_with_bytes(
+                OpKind::StoreGrads,
+                Lane::comm_of(dev),
+                cost.device.transfer_time(store_bytes),
+                store_bytes,
+                &[bwd],
+            );
+            last_store[dev] = Some(store);
+
+            // … reduce the finalised group across devices in fixed order,
+            // then let each owner update its shard on its Adam lane.
+            self.trainer.apply_finalized(plan, i, grads);
+            if overlapped {
+                let group = plan.finalization.finalized_by(i);
+                let adam_dep = push_allreduce(
+                    timeline,
+                    cost,
+                    devices,
+                    group.len(),
+                    &last_store,
+                    &mut last_allreduce,
+                    sched,
+                );
+                for (dev2, count) in self
+                    .partition
+                    .split_counts(group.indices())
+                    .iter()
+                    .enumerate()
+                {
+                    timeline.push(
+                        OpKind::CpuAdamUpdate,
+                        Lane::adam_of(dev2),
+                        cost.device.cpu_adam_time(
+                            cost.scaled_gaussians(*count) * PARAMS_PER_GAUSSIAN as u64,
+                        ),
+                        &[adam_dep],
+                    );
+                }
+            }
+
+            // This completion frees the next prefetch slot on this device.
+            for k2 in windows[dev].issuable_after(Some(k)) {
+                let j = k2 * devices + dev;
+                if let Some((id, buf)) =
+                    self.issue_gather(plan, j, &windows, &backward_ops, timeline, sched, cost)
+                {
+                    gather_ops[j] = Some(id);
+                    staging_slots[j] = Some(buf);
+                }
+            }
+        }
+
+        if !overlapped {
+            // Batch-end dense Adam (no-overlap CLM semantics): all-reduce
+            // the whole gradient, then every owner updates its shard.
+            let adam_dep = push_allreduce(
+                timeline,
+                cost,
+                devices,
+                self.trainer.model().len(),
+                &last_store,
+                &mut last_allreduce,
+                sched,
+            );
+            for (dev, count) in self.partition.device_counts().iter().enumerate() {
+                timeline.push(
+                    OpKind::CpuAdamUpdate,
+                    Lane::adam_of(dev),
+                    cost.device
+                        .cpu_adam_time(cost.scaled_gaussians(*count) * PARAMS_PER_GAUSSIAN as u64),
+                    &[adam_dep],
+                );
+            }
+        }
+        total_loss
+    }
+
+    /// Issues the gather of micro-batch `i` on its device's comm lane and
+    /// stages the rows into a pooled buffer.  Rows owned by another device
+    /// pay the peer hop.  Returns `None` when `i` is past the batch (the
+    /// per-device windows clamp to each local sequence, so this is a pure
+    /// defensive guard).
+    fn issue_gather(
+        &mut self,
+        plan: &BatchPlan,
+        i: usize,
+        windows: &[PrefetchWindow],
+        backward_ops: &[Option<OpId>],
+        timeline: &mut Timeline,
+        sched: OpId,
+        cost: &CostModel,
+    ) -> Option<(OpId, StagingBuffer)> {
+        if i >= plan.num_microbatches() {
+            return None;
+        }
+        let devices = self.config.num_devices;
+        let dev = i % devices;
+        let k = i / devices;
+        let mut deps = vec![sched];
+        if let Some(k_dep) = windows[dev].gather_depends_on_compute_of(k) {
+            deps.push(
+                backward_ops[k_dep * devices + dev]
+                    .expect("window dependencies point at completed compute"),
+            );
+        }
+
+        // Split the fetch by ownership: local rows at full PCIe bandwidth,
+        // cross-shard rows with the extra peer hop.  The recorded bytes are
+        // the full fetch either way, so the timeline's communication volume
+        // keeps matching the batch accounting.
+        let indices = plan.fetched[i].indices();
+        let local = indices
+            .iter()
+            .filter(|&&g| self.partition.owner_of(g) == dev)
+            .count();
+        let remote = indices.len() - local;
+        self.local_rows += local as u64;
+        self.cross_shard_rows += remote as u64;
+        let local_bytes = cost.scaled_bytes((local * clm_core::NON_CRITICAL_BYTES) as u64);
+        let remote_bytes = cost.scaled_bytes((remote * clm_core::NON_CRITICAL_BYTES) as u64);
+        let duration = cost.device.transfer_time(local_bytes)
+            + PEER_HOP_FACTOR * cost.device.transfer_time(remote_bytes);
+        let bytes = cost.scaled_bytes(plan.fetch_bytes(i));
+        let id = timeline.push_with_bytes(
+            OpKind::LoadParams,
+            Lane::comm_of(dev),
+            duration,
+            bytes,
+            &deps,
+        );
+
+        let mut buf = self.pool.acquire(plan.fetched[i].len());
+        self.trainer.stage_microbatch(plan, i, &mut buf);
+        Some((id, buf))
+    }
+}
+
+/// Pushes the fixed-device-order all-reduce chain for one finalisation
+/// group's gradients and returns the op the dependent Adam updates must
+/// wait for.  With one device there is nothing to exchange — the dependency
+/// is the device's latest gradient store, exactly as in the single-device
+/// engine.
+fn push_allreduce(
+    timeline: &mut Timeline,
+    cost: &CostModel,
+    devices: usize,
+    group_len: usize,
+    last_store: &[Option<OpId>],
+    last_allreduce: &mut Option<OpId>,
+    sched: OpId,
+) -> OpId {
+    if devices == 1 {
+        return last_store[0].unwrap_or(sched);
+    }
+    // Ring all-reduce: every device sends and receives (D-1)/D of the
+    // group's gradient bytes.  The chain over devices 0 → D-1 makes the
+    // reduction order an explicit scheduling dependency — the determinism
+    // the bit-identity argument relies on.
+    let total_bytes = cost.scaled_bytes((group_len * GRADIENT_BYTES) as u64);
+    let per_device = (total_bytes as f64 * (devices - 1) as f64 / devices as f64).round() as u64;
+    let mut base_deps: Vec<OpId> = last_store.iter().flatten().copied().collect();
+    if base_deps.is_empty() {
+        base_deps.push(sched);
+    }
+    if let Some(prev) = *last_allreduce {
+        base_deps.push(prev);
+    }
+    let mut tail: Option<OpId> = None;
+    for dev in 0..devices {
+        let mut deps = base_deps.clone();
+        if let Some(t) = tail {
+            deps.push(t);
+        }
+        tail = Some(timeline.push_with_bytes(
+            OpKind::AllReduce,
+            Lane::comm_of(dev),
+            cost.device.transfer_time(per_device),
+            per_device,
+            &deps,
+        ));
+    }
+    *last_allreduce = tail;
+    tail.expect("devices >= 2 pushed at least one op")
+}
+
+impl ExecutionBackend for ShardedEngine {
+    fn backend_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// Executes the batch inline while costing it on the shared multi-device
+    /// timeline; lane busy times are simulated device seconds summed across
+    /// devices, with the per-device breakdown in `device_lanes`.
+    fn execute_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> ExecutionReport {
+        let wall_start = std::time::Instant::now();
+        let report = self.run_batch(cameras, targets);
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        let t = &report.timeline;
+        let device_lanes: Vec<LaneBusy> = (0..self.config.num_devices)
+            .map(|dev| LaneBusy {
+                compute: t.busy_time(Lane::compute_of(dev)),
+                comm: t.busy_time(Lane::comm_of(dev)),
+                adam: t.busy_time(Lane::adam_of(dev)),
+                scheduling: 0.0,
+            })
+            .collect();
+        ExecutionReport {
+            views: report.views,
+            prefetch_window: report.prefetch_window,
+            wall_seconds,
+            lanes: LaneBusy {
+                compute: device_lanes.iter().map(|l| l.compute).sum(),
+                comm: device_lanes.iter().map(|l| l.comm).sum(),
+                adam: device_lanes.iter().map(|l| l.adam).sum(),
+                scheduling: t.busy_time(Lane::CpuScheduler),
+            },
+            device_lanes,
+            sim_makespan: Some(t.makespan()),
+            batch: report.batch,
+        }
+    }
+}

@@ -43,6 +43,7 @@ use clm_core::{gather_rows_into, SystemKind, TrainConfig, Trainer};
 use gs_core::camera::Camera;
 use gs_core::gaussian::GaussianModel;
 use gs_optim::{compute_packed_chunked, AdamWorkItem};
+use gs_render::parallel::parallel_map;
 use gs_render::Image;
 use gs_scene::Dataset;
 use std::time::Instant;
@@ -68,6 +69,18 @@ pub struct ThreadedConfig {
     /// This is the knob that lets the compute lane itself scale with cores;
     /// it never changes the numerics.
     pub compute_threads: usize,
+    /// Data-parallel device stand-ins (1 = single device).  With `D > 1`
+    /// the batch is processed in rounds of `D` micro-batches whose views
+    /// render concurrently — one thread per "device" — while losses,
+    /// gradient accumulations and Adam hand-offs are replayed in the serial
+    /// micro-batch order, so the numerics are bit-identical for every
+    /// device count.  A round holds `D` staged buffers at once, so the
+    /// effective prefetch window is floored at `D − 1`.
+    pub num_devices: usize,
+    /// Warm start for the tracked prefetch fetch/compute ratio (e.g. a
+    /// [`WarmStartCache`](crate::WarmStartCache) entry recorded by an
+    /// earlier run on the same scene); `None` cold-starts as before.
+    pub warm_start_ratio: Option<f64>,
 }
 
 impl Default for ThreadedConfig {
@@ -80,6 +93,8 @@ impl Default for ThreadedConfig {
                 .unwrap_or(1),
             channel_capacity: 2,
             compute_threads: 0,
+            num_devices: 1,
+            warm_start_ratio: None,
         }
     }
 }
@@ -100,22 +115,28 @@ impl ThreadedBackend {
     /// Creates a threaded backend around an initial model.
     ///
     /// # Panics
-    /// Panics if `config.adam_threads` or `config.channel_capacity` is 0.
+    /// Panics if `config.adam_threads`, `config.channel_capacity` or
+    /// `config.num_devices` is 0.
     pub fn new(initial_model: GaussianModel, train: TrainConfig, config: ThreadedConfig) -> Self {
         assert!(config.adam_threads > 0, "adam_threads must be at least 1");
         assert!(
             config.channel_capacity > 0,
             "channel_capacity must be at least 1"
         );
+        assert!(config.num_devices > 0, "num_devices must be at least 1");
         let mut train = train;
         if config.compute_threads > 0 {
             train.compute_threads = config.compute_threads;
         }
+        // Mirrored for introspection; the backend drives the stepwise API
+        // and shards the rounds itself.
+        train.num_devices = config.num_devices;
+        let window_selector = WindowSelector::warm_started(config.warm_start_ratio);
         ThreadedBackend {
             trainer: Trainer::new(initial_model, train),
             config,
             pool: PinnedBufferPool::new(),
-            window_selector: WindowSelector::new(),
+            window_selector,
         }
     }
 
@@ -132,6 +153,12 @@ impl ThreadedBackend {
     /// Pinned staging-pool statistics accumulated so far.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// The adaptive-window state (tracked fetch/compute ratios), e.g. for
+    /// recording into a [`WarmStartCache`](crate::WarmStartCache).
+    pub fn window_selector(&self) -> &WindowSelector {
+        &self.window_selector
     }
 
     /// Mean PSNR of the current model over a set of posed images (delegates
@@ -158,9 +185,14 @@ impl ThreadedBackend {
         let scheduling_seconds = wall_start.elapsed().as_secs_f64();
 
         let m = plan.num_microbatches();
+        let devices = self.config.num_devices;
+        // A D-device round holds D staged buffers at once, so the window
+        // (and with it the gather lane's completion-queue budget) is
+        // floored at D − 1; the round could not be staged otherwise.
         let window = self
             .window_selector
-            .choose(self.config.policy, self.config.prefetch_window);
+            .choose(self.config.policy, self.config.prefetch_window)
+            .max(devices.saturating_sub(1));
         let pw = PrefetchWindow::new(window, m);
 
         let overlapped = self.trainer.overlapped();
@@ -269,39 +301,68 @@ impl ThreadedBackend {
             }
 
             let empty: StagingBuffer = Vec::new();
-            for i in 0..m {
-                let staged = match &gather {
-                    Some(lane) => {
-                        let (j, buf) = lane
-                            .completions
-                            .recv()
-                            .expect("gather lane must outlive the batch");
-                        debug_assert_eq!(j, i, "gathers complete in issue order");
-                        buf
-                    }
-                    None => empty.clone(),
+            let mut i = 0;
+            while i < m {
+                // One round = one micro-batch per device (the tail round
+                // may be short).  devices = 1 degenerates to the serial
+                // micro-batch loop.
+                let round = (m - i).min(devices);
+                let staged: Vec<StagingBuffer> = match &gather {
+                    Some(lane) => (0..round)
+                        .map(|r| {
+                            let (j, buf) = lane
+                                .completions
+                                .recv()
+                                .expect("gather lane must outlive the batch");
+                            debug_assert_eq!(j, i + r, "gathers complete in issue order");
+                            buf
+                        })
+                        .collect(),
+                    None => vec![empty.clone(); round],
                 };
 
+                // Render the round's views concurrently — one thread per
+                // "device".  Renders are pure (they read only their own
+                // micro-batch's visibility set), so parallelism here cannot
+                // change what is computed.
                 let t = Instant::now();
-                total_loss +=
-                    trainer.process_microbatch(plan_ref, i, cameras, targets, &staged, &mut grads);
+                let results: Vec<(f32, gs_render::RenderGradients)> = if round > 1 {
+                    parallel_map(round, round, |r| {
+                        trainer.render_microbatch(plan_ref, i + r, cameras, targets, &staged[r])
+                    })
+                } else {
+                    vec![trainer.render_microbatch(plan_ref, i, cameras, targets, &staged[0])]
+                };
                 compute_seconds += t.elapsed().as_secs_f64();
 
-                if let Some(adam) = &adam {
-                    // Drain finished groups first so the lane's bounded
-                    // completion queue can never wedge the next send.
-                    while let Ok(items) = adam.completions.try_recv() {
-                        adam_groups.push(items);
+                // Fixed-order reduction: losses, gradient accumulations and
+                // Adam hand-offs replay in the serial micro-batch order, so
+                // every floating-point reduction matches the 1-device path.
+                for (r, (loss, render_grads)) in results.iter().enumerate() {
+                    total_loss += loss;
+                    let t = Instant::now();
+                    grads.accumulate_render(render_grads);
+                    compute_seconds += t.elapsed().as_secs_f64();
+
+                    if let Some(adam) = &adam {
+                        // Drain finished groups first so the lane's bounded
+                        // completion queue can never wedge the next send.
+                        while let Ok(items) = adam.completions.try_recv() {
+                            adam_groups.push(items);
+                        }
+                        let group = plan_ref.finalization.finalized_by(i + r);
+                        send_group(adam, group.indices(), &grads);
                     }
-                    let group = plan_ref.finalization.finalized_by(i);
-                    send_group(adam, group.indices(), &grads);
                 }
 
                 if let Some(lane) = &gather {
-                    // Return the consumed buffer for recycling and unlock
-                    // the next prefetch slot.
-                    lane.requests.send((i, staged)).expect("gather lane alive");
+                    // Return the round's buffers for recycling and unlock
+                    // the next prefetch slots.
+                    for (r, buf) in staged.into_iter().enumerate() {
+                        lane.requests.send((i + r, buf)).expect("gather lane alive");
+                    }
                 }
+                i += round;
             }
 
             // Shut the lanes down and drain what is still in flight.
@@ -353,6 +414,7 @@ impl ThreadedBackend {
                 adam: adam_busy,
                 scheduling: scheduling_seconds,
             },
+            device_lanes: Vec::new(),
             sim_makespan: None,
         }
     }

@@ -7,7 +7,7 @@
 //! *subset* of Gaussians as soon as their gradients are final.
 //!
 //! Every update path funnels through one scalar kernel
-//! ([`adam_update_row`]) over the flat 59-float parameter row layout of
+//! (`adam_update_row`) over the flat 59-float parameter row layout of
 //! [`GaussianModel::param_row`], so the three drivers are bit-identical by
 //! construction:
 //!

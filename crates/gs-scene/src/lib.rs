@@ -26,9 +26,11 @@
 pub mod densify;
 pub mod generate;
 pub mod init;
+pub mod partition;
 pub mod spec;
 
 pub use densify::{densify_and_prune, DensifyConfig, DensifyReport};
 pub use generate::{generate_dataset, Dataset, DatasetConfig};
 pub use init::{init_from_point_cloud, init_random, InitConfig};
+pub use partition::{partition_by_footprint, projected_footprints, GaussianPartition};
 pub use spec::{SceneKind, SceneSpec, Trajectory};

@@ -23,16 +23,94 @@ pub enum Lane {
     CpuAdam,
     /// The host Python/scheduling thread (frustum culling, TSP ordering).
     CpuScheduler,
+    /// Compute stream of simulated device `d > 0` in a sharded (multi-GPU)
+    /// schedule.  Device 0 reuses [`Lane::GpuCompute`]; use
+    /// [`Lane::compute_of`] instead of constructing this directly.
+    DeviceCompute(u8),
+    /// Communication stream of simulated device `d > 0` (see
+    /// [`Lane::comm_of`]).
+    DeviceComm(u8),
+    /// CPU Adam worker serving simulated device `d > 0` (see
+    /// [`Lane::adam_of`]).
+    DeviceAdam(u8),
 }
 
 impl Lane {
-    /// All lanes in display order.
+    /// The four single-device lanes in display order.  Sharded schedules add
+    /// one `Device*` lane triple per extra device on top of these.
     pub const ALL: [Lane; 4] = [
         Lane::GpuCompute,
         Lane::GpuComm,
         Lane::CpuAdam,
         Lane::CpuScheduler,
     ];
+
+    /// Largest device index a sharded schedule may address (the `Device*`
+    /// lanes carry the index as a `u8`).
+    pub const MAX_DEVICE: usize = u8::MAX as usize;
+
+    /// The compute lane of simulated device `device`.  Device 0 maps to the
+    /// classic [`Lane::GpuCompute`], so a 1-device sharded schedule lands on
+    /// exactly the lanes the single-device engine uses.
+    ///
+    /// # Panics
+    /// Panics if `device` exceeds [`Lane::MAX_DEVICE`].
+    pub fn compute_of(device: usize) -> Lane {
+        assert!(
+            device <= Lane::MAX_DEVICE,
+            "device index {device} too large"
+        );
+        if device == 0 {
+            Lane::GpuCompute
+        } else {
+            Lane::DeviceCompute(device as u8)
+        }
+    }
+
+    /// The communication lane of simulated device `device` (device 0 maps to
+    /// [`Lane::GpuComm`]).
+    ///
+    /// # Panics
+    /// Panics if `device` exceeds [`Lane::MAX_DEVICE`].
+    pub fn comm_of(device: usize) -> Lane {
+        assert!(
+            device <= Lane::MAX_DEVICE,
+            "device index {device} too large"
+        );
+        if device == 0 {
+            Lane::GpuComm
+        } else {
+            Lane::DeviceComm(device as u8)
+        }
+    }
+
+    /// The CPU Adam lane serving simulated device `device` (device 0 maps to
+    /// [`Lane::CpuAdam`]).
+    ///
+    /// # Panics
+    /// Panics if `device` exceeds [`Lane::MAX_DEVICE`].
+    pub fn adam_of(device: usize) -> Lane {
+        assert!(
+            device <= Lane::MAX_DEVICE,
+            "device index {device} too large"
+        );
+        if device == 0 {
+            Lane::CpuAdam
+        } else {
+            Lane::DeviceAdam(device as u8)
+        }
+    }
+
+    /// The device this lane belongs to: 0 for the classic GPU/Adam lanes,
+    /// `d` for the `Device*` lanes, and `None` for the host scheduler (it is
+    /// shared by every device).
+    pub fn device(self) -> Option<usize> {
+        match self {
+            Lane::GpuCompute | Lane::GpuComm | Lane::CpuAdam => Some(0),
+            Lane::CpuScheduler => None,
+            Lane::DeviceCompute(d) | Lane::DeviceComm(d) | Lane::DeviceAdam(d) => Some(d as usize),
+        }
+    }
 }
 
 /// The kind of work an operation represents; used for run-time breakdowns
@@ -49,6 +127,9 @@ pub enum OpKind {
     StoreGrads,
     /// On-GPU copy of cached Gaussians between double buffers.
     CacheCopy,
+    /// Cross-device gradient all-reduce step of a sharded (data-parallel)
+    /// schedule.
+    AllReduce,
     /// Adam update executed on the CPU thread.
     CpuAdamUpdate,
     /// Adam update executed on the GPU (GPU-only baselines).
@@ -292,6 +373,42 @@ pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn device_lane_mapping_reuses_classic_lanes_for_device_zero() {
+        assert_eq!(Lane::compute_of(0), Lane::GpuCompute);
+        assert_eq!(Lane::comm_of(0), Lane::GpuComm);
+        assert_eq!(Lane::adam_of(0), Lane::CpuAdam);
+        assert_eq!(Lane::compute_of(3), Lane::DeviceCompute(3));
+        assert_eq!(Lane::comm_of(1), Lane::DeviceComm(1));
+        assert_eq!(Lane::adam_of(2), Lane::DeviceAdam(2));
+        for d in [0usize, 1, 2, 7] {
+            assert_eq!(Lane::compute_of(d).device(), Some(d));
+            assert_eq!(Lane::comm_of(d).device(), Some(d));
+            assert_eq!(Lane::adam_of(d).device(), Some(d));
+        }
+        assert_eq!(Lane::CpuScheduler.device(), None);
+    }
+
+    #[test]
+    fn device_lanes_serialise_independently_per_device() {
+        // Two devices computing concurrently must overlap; the same device's
+        // lane still serialises.
+        let mut t = Timeline::new();
+        t.push(OpKind::Forward, Lane::compute_of(0), 2.0, &[]);
+        t.push(OpKind::Forward, Lane::compute_of(1), 2.0, &[]);
+        assert_eq!(t.makespan(), 2.0);
+        t.push(OpKind::AllReduce, Lane::comm_of(0), 1.0, &[]);
+        t.push(OpKind::AllReduce, Lane::comm_of(0), 1.0, &[]);
+        assert_eq!(t.busy_time(Lane::comm_of(0)), 2.0);
+        assert_eq!(t.time_by_kind(OpKind::AllReduce), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_device_index_panics() {
+        let _ = Lane::compute_of(Lane::MAX_DEVICE + 1);
+    }
 
     #[test]
     fn single_lane_serializes() {

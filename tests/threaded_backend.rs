@@ -119,6 +119,7 @@ fn threaded_backend_survives_single_slot_backpressure() {
             adam_threads: 1,
             channel_capacity: 1,
             compute_threads: 0,
+            ..Default::default()
         },
     );
     for _ in 0..2 {
