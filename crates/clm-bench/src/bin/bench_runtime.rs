@@ -5,7 +5,10 @@
 //! parallel compute lane and the sharded multi-device engine, verifies the
 //! five are bit-identical, and emits the measurements as single-line JSON
 //! to stdout **and** to `BENCH_runtime.json` (override with
-//! `--out <path>`).
+//! `--out <path>`).  The run densifies on the scale's cadence, so every
+//! backend crosses the same mid-epoch resize boundaries; the artefact
+//! records `resize_events` and the post-resize throughput delta per
+//! backend, making densification cost part of the perf trajectory.
 //!
 //! Flags:
 //!

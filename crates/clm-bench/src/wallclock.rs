@@ -28,7 +28,9 @@
 //! CI smoke gate is core-count-conditional (a strict `> 1×` win on ≥ 2
 //! cores, a 0.9× coordination-overhead floor on one).
 
-use clm_core::{ground_truth_images, SystemKind, TrainConfig, Trainer};
+use clm_core::{
+    ground_truth_images, DensifyConfig, DensifySchedule, SystemKind, TrainConfig, Trainer,
+};
 use clm_runtime::{
     ExecutionBackend, LaneBusy, PipelinedEngine, PrefetchPolicy, RuntimeConfig, ShardedEngine,
     ThreadedBackend, ThreadedConfig,
@@ -69,6 +71,11 @@ pub struct WallclockScale {
     /// Simulated devices for the `sharded` entry (CI's shard matrix runs
     /// 1, 2 and 4).
     pub devices: usize,
+    /// Densify every this many batches (0 = fixed-size model).  The
+    /// schedule is part of the trained trajectory, so every backend crosses
+    /// the same boundaries — and the artefact records what the resizes cost
+    /// each of them.
+    pub densify_every: usize,
 }
 
 impl WallclockScale {
@@ -88,6 +95,7 @@ impl WallclockScale {
             prefetch_window: 2,
             compute_threads: 0,
             devices: 1,
+            densify_every: 2,
         }
     }
 
@@ -105,6 +113,7 @@ impl WallclockScale {
             prefetch_window: 2,
             compute_threads: 0,
             devices: 1,
+            densify_every: 2,
         }
     }
 
@@ -122,6 +131,7 @@ impl WallclockScale {
             prefetch_window: 1,
             compute_threads: 2,
             devices: 2,
+            densify_every: 1,
         }
     }
 
@@ -170,6 +180,13 @@ pub struct BackendMeasurement {
     /// (`sharded` entry only; empty otherwise).  `scheduling` is 0 per
     /// device — the host scheduler is shared.
     pub device_lanes: Vec<LaneBusy>,
+    /// Densification resize boundaries this backend crossed during the run.
+    pub resize_events: u64,
+    /// Post-resize wall-clock throughput over pre-resize throughput
+    /// (images/s after the first boundary ÷ images/s before it; 0 when the
+    /// run never resized or per-batch timings are unavailable).  Values
+    /// below 1 are the cost of training the densified, larger model.
+    pub post_resize_delta: f64,
 }
 
 impl BackendMeasurement {
@@ -194,6 +211,11 @@ impl BackendMeasurement {
                 device_lanes[dev].adam += lanes.adam;
             }
         }
+        let batch_walls: Vec<f64> = reports.iter().map(|r| r.wall_seconds).collect();
+        let batch_views: Vec<usize> = reports.iter().map(|r| r.views).collect();
+        let resized: Vec<bool> = reports.iter().map(|r| r.resize.is_some()).collect();
+        let (resize_events, post_resize_delta) =
+            resize_trajectory(&batch_walls, &batch_views, &resized);
         BackendMeasurement {
             name,
             wall_seconds,
@@ -210,6 +232,8 @@ impl BackendMeasurement {
             host_cores: detect_host_cores(),
             windows: reports.iter().map(|r| r.prefetch_window).collect(),
             device_lanes,
+            resize_events,
+            post_resize_delta,
         }
     }
 
@@ -242,6 +266,7 @@ impl BackendMeasurement {
              \"lane_denominator_s\":{:.4},\
              \"compute_threads\":{},\"host_cores\":{},\
              \"busy_fractions\":{{\"comm\":{:.6},\"adam\":{:.6},\"compute\":{:.6}}},\
+             \"resize_events\":{},\"post_resize_throughput_delta\":{:.3},\
              \"windows\":[{}],\"device_lanes\":[{}]}}",
             self.name,
             self.wall_seconds,
@@ -255,6 +280,8 @@ impl BackendMeasurement {
             self.busy_fraction(self.comm_busy_s),
             self.busy_fraction(self.adam_busy_s),
             self.busy_fraction(self.compute_busy_s),
+            self.resize_events,
+            self.post_resize_delta,
             windows,
             device_lanes,
         )
@@ -345,7 +372,7 @@ impl WallclockBench {
             .join(",");
         format!(
             "{{\"bench\":\"runtime_wallclock\",\"scale\":\"{}\",\"host_cores\":{},\
-             \"compute_threads\":{},\"devices\":{},\
+             \"compute_threads\":{},\"devices\":{},\"densify_every\":{},\
              \"views_per_epoch\":{},\"epochs\":{},\"batch_size\":{},\"prefetch_window\":{},\
              \"model_gaussians\":{},\"resolution\":\"{}x{}\",\
              \"backends\":[{}],\
@@ -357,6 +384,7 @@ impl WallclockBench {
             self.host_cores,
             self.compute_threads,
             self.devices,
+            self.scale.densify_every,
             self.scale.views,
             self.scale.epochs,
             self.scale.batch_size,
@@ -390,6 +418,29 @@ fn ratio(num: f64, den: f64) -> f64 {
     }
 }
 
+/// Summarises a run's densification trajectory from per-batch wall times:
+/// how many resize boundaries were crossed, and post-resize throughput over
+/// pre-resize throughput (split at the first boundary; 0 when either side
+/// is empty).
+fn resize_trajectory(walls: &[f64], views: &[usize], resized: &[bool]) -> (u64, f64) {
+    let events = resized.iter().filter(|&&r| r).count() as u64;
+    let delta = match resized.iter().position(|&r| r) {
+        Some(k) if k > 0 && k < walls.len() => {
+            let pre = ratio(
+                views[..k].iter().sum::<usize>() as f64,
+                walls[..k].iter().sum(),
+            );
+            let post = ratio(
+                views[k..].iter().sum::<usize>() as f64,
+                walls[k..].iter().sum(),
+            );
+            ratio(post, pre)
+        }
+        _ => 0.0,
+    };
+    (events, delta)
+}
+
 fn bench_scene(scale: &WallclockScale) -> (Dataset, Vec<Image>, GaussianModel) {
     let spec = SceneSpec::of(SceneKind::Rubble);
     let dataset = generate_dataset(
@@ -420,6 +471,17 @@ fn train_config(scale: &WallclockScale) -> TrainConfig {
     TrainConfig {
         system: SystemKind::Clm,
         batch_size: scale.batch_size,
+        densify: (scale.densify_every > 0).then(|| DensifySchedule {
+            every_batches: scale.densify_every,
+            config: DensifyConfig {
+                // Low gradient threshold so the model grows towards its cap
+                // at the first boundary: densification cost shows up as a
+                // measurable post-resize throughput delta.
+                grad_threshold: 1.0e-5,
+                max_gaussians: scale.model_gaussians + scale.model_gaussians / 8,
+                ..Default::default()
+            },
+        }),
         ..Default::default()
     }
 }
@@ -439,13 +501,34 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
         warm.train_epoch(&dataset, &targets);
     }
 
-    // 1. Synchronous reference trainer.
+    // 1. Synchronous reference trainer, timed per batch so its resize
+    // trajectory (boundary count, post-resize throughput delta) is measured
+    // the same way as the runtime backends'.
     let mut sync = Trainer::new(init.clone(), train_config(&scale));
+    let batch = scale.batch_size.max(1);
+    let mut batch_walls = Vec::new();
+    let mut batch_views = Vec::new();
+    let mut batch_resized = Vec::new();
     let start = Instant::now();
     for _ in 0..scale.epochs {
-        sync.train_epoch(&dataset, &targets);
+        let mut view = 0;
+        while view < dataset.cameras.len() {
+            let end = (view + batch).min(dataset.cameras.len());
+            // Detect the boundary from the counter delta — a usize read —
+            // rather than pre-planning the event, which would charge the
+            // sync baseline extra planning work the runtime backends'
+            // measured regions don't pay.
+            let resizes_before = sync.resize_events();
+            let t = Instant::now();
+            sync.train_batch(&dataset.cameras[view..end], &targets[view..end]);
+            batch_walls.push(t.elapsed().as_secs_f64());
+            batch_resized.push(sync.resize_events() > resizes_before);
+            batch_views.push(end - view);
+            view = end;
+        }
     }
     let sync_wall = start.elapsed().as_secs_f64();
+    let (sync_resizes, sync_delta) = resize_trajectory(&batch_walls, &batch_views, &batch_resized);
     let sync_measure = BackendMeasurement {
         name: "synchronous",
         wall_seconds: sync_wall,
@@ -458,6 +541,8 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
         host_cores: detect_host_cores(),
         windows: Vec::new(),
         device_lanes: Vec::new(),
+        resize_events: sync_resizes,
+        post_resize_delta: sync_delta,
     };
 
     // 2. Simulated (discrete-event) engine — paper-scale costing so its
@@ -624,6 +709,8 @@ pub fn looks_like_bench_json(s: &str) -> bool {
         && t.contains("\"devices\":")
         && t.contains("\"name\":\"sharded\"")
         && t.contains("\"sharded_bit_identical\":")
+        && t.contains("\"resize_events\":")
+        && t.contains("\"post_resize_throughput_delta\":")
 }
 
 #[cfg(test)]
@@ -674,6 +761,47 @@ mod tests {
         assert!(json.contains("\"device_lanes\":[{\"device\":0,"));
         // Single-device entries carry no per-device breakdown.
         assert!(bench.backend("threaded").device_lanes.is_empty());
+        // The test scale densifies every batch: all five backends cross the
+        // same single boundary (2 batches -> resize before batch 2), and the
+        // artefact records it.
+        for b in &bench.backends {
+            assert_eq!(b.resize_events, 1, "{}", b.name);
+        }
+        assert!(json.contains("\"resize_events\":1"));
+        assert!(json.contains("\"densify_every\":1"));
+        assert!(json.contains("\"post_resize_throughput_delta\":"));
+        // Both sides of the boundary ran, so every backend has a measurable
+        // post-resize throughput delta.
+        for b in &bench.backends {
+            assert!(
+                b.post_resize_delta > 0.0,
+                "{}: {}",
+                b.name,
+                b.post_resize_delta
+            );
+        }
+    }
+
+    #[test]
+    fn resize_trajectory_splits_at_the_first_boundary() {
+        // No boundary, or a boundary on the very first batch, yields no
+        // delta (there is no pre-resize side to compare against).
+        assert_eq!(
+            resize_trajectory(&[1.0, 1.0], &[4, 4], &[false, false]),
+            (0, 0.0)
+        );
+        let (events, delta) = resize_trajectory(&[1.0, 1.0], &[4, 4], &[true, false]);
+        assert_eq!(events, 1);
+        assert_eq!(delta, 0.0);
+        // Two batches at 4 img/s, then two post-resize batches at 2 img/s:
+        // the delta is exactly 0.5.
+        let (events, delta) = resize_trajectory(
+            &[1.0, 1.0, 2.0, 2.0],
+            &[4, 4, 4, 4],
+            &[false, false, true, false],
+        );
+        assert_eq!(events, 1);
+        assert!((delta - 0.5).abs() < 1e-12, "{delta}");
     }
 
     #[test]

@@ -62,5 +62,10 @@ pub use perf::{
     MemoryEstimate, MicrobatchStats, SceneProfile, SystemKind,
 };
 pub use schedule::FinalizationPlan;
-pub use train::{ground_truth_images, BatchPlan, BatchReport, TrainConfig, Trainer};
+pub use train::{
+    ground_truth_images, BatchPlan, BatchReport, DensifySchedule, TrainConfig, Trainer,
+};
+// The resize-event vocabulary the trainers speak at densification
+// boundaries (planned in `gs_scene`, emitted through `BatchPlan::resize`).
+pub use gs_scene::{DensifyConfig, DensifyReport, ResizeAction, ResizeEvent};
 pub use tsp::{solve, solve_exact, DistanceMatrix, TspConfig, TspSolution};

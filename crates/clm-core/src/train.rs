@@ -23,7 +23,27 @@ use gs_render::{
     l1_loss, parallel::parallel_map, psnr, render, render_backward, Image, RenderGradients,
     RenderOptions,
 };
-use gs_scene::Dataset;
+use gs_scene::{Dataset, DensifyConfig, DensifyReport, ResizeEvent};
+
+/// When and how a training run densifies its model.
+///
+/// Real 3DGS training is not fixed-size: on a regular cadence the model
+/// clones/splits high-gradient Gaussians and prunes transparent ones.  The
+/// schedule makes that cadence part of the training configuration, so every
+/// execution backend resizes at the **same** batch boundaries with the
+/// **same** deterministic [`ResizeEvent`] — which is what keeps a densifying
+/// run's trajectory bit-identical across backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensifySchedule {
+    /// Densify every this many trained batches (a boundary sits **before**
+    /// the batch at which `batches_trained` is a positive multiple of this;
+    /// clamped to at least 1).
+    pub every_batches: usize,
+    /// Thresholds for each boundary's plan.  The boundary's RNG seed is
+    /// `config.seed + batches_trained`, so distinct boundaries draw distinct
+    /// (but deterministic) split offsets.
+    pub config: DensifyConfig,
+}
 
 /// Configuration of a functional training run.
 #[derive(Debug, Clone)]
@@ -60,6 +80,12 @@ pub struct TrainConfig {
     /// that keeps the trajectory bit-identical to the 1-device trainer for
     /// every shard count.  Pure scheduling, like `compute_threads`.
     pub num_devices: usize,
+    /// Mid-training densification cadence (`None` = fixed-size model, the
+    /// previous behaviour).  Resizes happen at batch boundaries, planned
+    /// deterministically from the accumulated positional-gradient norms, so
+    /// they are part of the numeric trajectory — identical for every
+    /// execution backend.
+    pub densify: Option<DensifySchedule>,
     /// RNG seed for ordering.
     pub seed: u64,
 }
@@ -77,6 +103,7 @@ impl Default for TrainConfig {
             compute_threads: 1,
             view_parallel: false,
             num_devices: 1,
+            densify: None,
             seed: 0,
         }
     }
@@ -132,6 +159,10 @@ pub struct BatchPlan {
     pub bytes_loaded: u64,
     /// Gradient bytes moved GPU→CPU by the batch.
     pub bytes_stored: u64,
+    /// The densification resize applied at this batch's boundary, if one was
+    /// due (filled by [`Trainer::resize_and_plan`]; the plan's culling and
+    /// fetch sets are always computed against the **post-resize** model).
+    pub resize: Option<ResizeEvent>,
 }
 
 impl BatchPlan {
@@ -159,6 +190,15 @@ pub struct Trainer {
     optimizer: GaussianAdam,
     config: TrainConfig,
     batches_trained: usize,
+    /// Accumulated positional-gradient norm per Gaussian since the last
+    /// densification boundary (the densification criterion).
+    grad_norm_accum: Vec<f32>,
+    /// Densification resizes applied so far.
+    resize_events: usize,
+    /// Boundary marker: the `batches_trained` value at which the last resize
+    /// was applied, so a boundary fires exactly once even when
+    /// [`pending_resize`](Self::pending_resize) is polled repeatedly.
+    last_resize_batch: Option<usize>,
 }
 
 impl Trainer {
@@ -166,12 +206,16 @@ impl Trainer {
     pub fn new(initial_model: GaussianModel, config: TrainConfig) -> Self {
         let offloaded = OffloadedModel::from_model(&initial_model);
         let optimizer = GaussianAdam::new(initial_model.len(), config.adam.clone());
+        let grad_norm_accum = vec![0.0; initial_model.len()];
         Trainer {
             model: initial_model,
             offloaded,
             optimizer,
             config,
             batches_trained: 0,
+            grad_norm_accum,
+            resize_events: 0,
+            last_resize_batch: None,
         }
     }
 
@@ -199,6 +243,92 @@ impl Trainer {
     /// Number of batches trained so far.
     pub fn batches_trained(&self) -> usize {
         self.batches_trained
+    }
+
+    /// Number of densification resizes applied so far.
+    pub fn resize_events(&self) -> usize {
+        self.resize_events
+    }
+
+    /// Accumulated positional-gradient norms since the last densification
+    /// boundary (one per Gaussian; all zeros without a densify schedule).
+    pub fn grad_norm_accum(&self) -> &[f32] {
+        &self.grad_norm_accum
+    }
+
+    /// The densification resize due **before** the next batch, if any.
+    ///
+    /// Pure: planning reads the model and the accumulated gradient norms but
+    /// changes nothing, so a runtime may inspect the event (to size pinned
+    /// buffers, repartition shards, cost the boundary) before committing to
+    /// it with [`apply_resize`](Self::apply_resize).  A boundary is due when
+    /// `batches_trained` is a positive multiple of the schedule's cadence
+    /// and no resize was applied at this boundary yet; the plan's seed is
+    /// `schedule.config.seed + batches_trained`, so each boundary draws its
+    /// own deterministic split offsets.
+    pub fn pending_resize(&self) -> Option<ResizeEvent> {
+        let schedule = self.config.densify.as_ref()?;
+        let every = schedule.every_batches.max(1);
+        let b = self.batches_trained;
+        if b == 0 || !b.is_multiple_of(every) || self.last_resize_batch == Some(b) {
+            return None;
+        }
+        let config = DensifyConfig {
+            seed: schedule.config.seed.wrapping_add(b as u64),
+            ..schedule.config
+        };
+        Some(gs_scene::plan_resize(
+            &self.model,
+            &self.grad_norm_accum,
+            &config,
+        ))
+    }
+
+    /// Applies a planned resize at a batch boundary: the model rows
+    /// clone/split/prune in the event's deterministic order, the optimiser
+    /// state compacts (survivors keep their moments, appended rows start
+    /// fresh), the offloaded host store resizes in place without re-cloning
+    /// survivors, and the gradient-norm accumulator resets for the next
+    /// densification interval.
+    ///
+    /// Runtimes must drain their in-flight lanes before calling this —
+    /// every backend in this workspace scopes its lanes to one batch, so a
+    /// batch boundary is always a safe drain point.
+    ///
+    /// # Panics
+    /// Panics if the event was planned against a different model size.
+    pub fn apply_resize(&mut self, event: &ResizeEvent) -> DensifyReport {
+        let report = gs_scene::apply_resize(&mut self.model, event);
+        self.optimizer.apply_resize(&event.pruned, self.model.len());
+        self.offloaded.apply_resize(event, &self.model);
+        // Fresh interval: norms restart from zero for survivors too (the
+        // reference implementation resets its accumulators at each
+        // densification), keeping the next boundary's plan independent of
+        // how the rows were renumbered.
+        self.grad_norm_accum.clear();
+        self.grad_norm_accum.resize(self.model.len(), 0.0);
+        self.resize_events += 1;
+        self.last_resize_batch = Some(self.batches_trained);
+        report
+    }
+
+    /// The batch-boundary entry point every execution backend shares:
+    /// applies the pending densification resize (if one is due) and plans
+    /// the batch against the **post-resize** model.  The applied event is
+    /// recorded in the returned plan's [`resize`](BatchPlan::resize) field,
+    /// so a runtime can re-lease staging buffers, repartition shards and
+    /// cost the boundary from the plan alone.
+    ///
+    /// # Panics
+    /// Panics if `cameras` is empty.
+    pub fn resize_and_plan(&mut self, cameras: &[Camera]) -> BatchPlan {
+        let resize = self.pending_resize();
+        if let Some(event) = &resize {
+            self.apply_resize(event);
+        }
+        let mut plan = self.plan_batch(cameras);
+        plan.resize = resize;
+        plan
     }
 
     /// Whether this trainer runs the overlapped (early-finalised) CPU Adam
@@ -303,6 +433,7 @@ impl Trainer {
             touched_union,
             bytes_loaded,
             bytes_stored,
+            resize: None,
         }
     }
 
@@ -491,6 +622,17 @@ impl Trainer {
 
         // Keep the offloaded store coherent with the updated model.
         self.offloaded.sync_from_model(&self.model);
+
+        // Feed the densification criterion: accumulate each touched
+        // Gaussian's positional-gradient norm.  The gradients are identical
+        // across backends (they all share this buffer's accumulation order),
+        // so the next boundary's plan is too.
+        if self.config.densify.is_some() {
+            debug_assert_eq!(self.grad_norm_accum.len(), grads.len());
+            for idx in plan.touched_union.indices() {
+                self.grad_norm_accum[*idx as usize] += grads.row(*idx).d_position.length();
+            }
+        }
         self.batches_trained += 1;
 
         BatchReport {
@@ -526,7 +668,9 @@ impl Trainer {
         );
         assert!(!cameras.is_empty(), "batch must contain at least one view");
 
-        let plan = self.plan_batch(cameras);
+        // Densification boundary first (if one is due), then plan against
+        // the resized model — the same lifecycle every runtime backend runs.
+        let plan = self.resize_and_plan(cameras);
         // One micro-batch per simulated device and round under sharding;
         // one per band worker under view parallelism.
         let wave = if self.config.num_devices > 1 {
@@ -951,6 +1095,127 @@ mod tests {
         assert_eq!(order, (0..5).collect::<Vec<_>>());
         assert!(report.touched > 0);
         assert_eq!(trainer.batches_trained(), 1);
+    }
+
+    fn densify_config(every: usize) -> TrainConfig {
+        TrainConfig {
+            system: SystemKind::Clm,
+            batch_size: 4,
+            densify: Some(DensifySchedule {
+                every_batches: every,
+                config: gs_scene::DensifyConfig {
+                    grad_threshold: 1.0e-4,
+                    max_gaussians: 200,
+                    ..Default::default()
+                },
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn densify_schedule_resizes_the_model_mid_run() {
+        let (dataset, targets, init) = tiny_setup();
+        let before = init.len();
+        let mut trainer = Trainer::new(init, densify_config(1));
+        let cams = &dataset.cameras[..4];
+        let tgts = &targets[..4];
+        assert!(
+            trainer.pending_resize().is_none(),
+            "no boundary before batch 0"
+        );
+        trainer.train_batch(cams, tgts);
+        let pending = trainer
+            .pending_resize()
+            .expect("boundary due after batch 1");
+        assert!(
+            !pending.is_noop(),
+            "trained gradients must trigger densification"
+        );
+        trainer.train_batch(cams, tgts);
+        assert_eq!(trainer.resize_events(), 1);
+        assert_ne!(trainer.model().len(), before, "model resized mid-run");
+        // Aligned state followed the resize.
+        assert_eq!(trainer.optimizer().len(), trainer.model().len());
+        assert_eq!(trainer.offloaded().len(), trainer.model().len());
+        assert_eq!(trainer.grad_norm_accum().len(), trainer.model().len());
+    }
+
+    #[test]
+    fn pending_resize_fires_exactly_once_per_boundary() {
+        let (dataset, targets, init) = tiny_setup();
+        let mut trainer = Trainer::new(init, densify_config(2));
+        let cams = &dataset.cameras[..4];
+        let tgts = &targets[..4];
+        trainer.train_batch(cams, tgts);
+        assert!(trainer.pending_resize().is_none(), "cadence 2: not yet");
+        trainer.train_batch(cams, tgts);
+        let a = trainer.pending_resize().expect("boundary due");
+        let b = trainer.pending_resize().expect("polling is pure");
+        assert_eq!(a, b, "repeated polls plan the same event");
+        trainer.apply_resize(&a);
+        assert!(
+            trainer.pending_resize().is_none(),
+            "an applied boundary must not fire again"
+        );
+        assert_eq!(trainer.resize_events(), 1);
+    }
+
+    #[test]
+    fn densifying_trajectory_is_identical_across_offload_systems() {
+        // Densification is planned from the shared gradient trajectory, so
+        // systems that are bit-identical without it stay bit-identical with
+        // it — resize boundaries included.
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..4];
+        let tgts = &targets[..4];
+        let with_system = |system: SystemKind| TrainConfig {
+            ordering: OrderingStrategy::Camera,
+            ..TrainConfig {
+                system,
+                ..densify_config(1)
+            }
+        };
+        let mut clm = Trainer::new(init.clone(), with_system(SystemKind::Clm));
+        let mut enhanced = Trainer::new(init, with_system(SystemKind::EnhancedBaseline));
+        for i in 0..4 {
+            let r1 = clm.train_batch(&cams[i..i + 1], &tgts[i..i + 1]);
+            let r2 = enhanced.train_batch(&cams[i..i + 1], &tgts[i..i + 1]);
+            assert_eq!(r1.order, r2.order);
+            assert!((r1.loss - r2.loss).abs() < 1e-6);
+        }
+        assert_eq!(clm.resize_events(), enhanced.resize_events());
+        assert!(clm.resize_events() >= 1, "run must actually densify");
+        assert_eq!(clm.model(), enhanced.model());
+    }
+
+    #[test]
+    fn densifying_waves_match_the_serial_trainer() {
+        // The pure-scheduling axes (waves, devices) must stay bit-identical
+        // when the model resizes mid-run.
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let base = TrainConfig {
+            batch_size: 6,
+            ..densify_config(1)
+        };
+        let mut serial = Trainer::new(init.clone(), base.clone());
+        let mut sharded = Trainer::new(
+            init,
+            TrainConfig {
+                num_devices: 3,
+                ..base
+            },
+        );
+        for _ in 0..3 {
+            let a = serial.train_batch(cams, tgts);
+            let b = sharded.train_batch(cams, tgts);
+            assert_eq!(a, b);
+        }
+        assert!(serial.resize_events() >= 1);
+        assert_eq!(serial.resize_events(), sharded.resize_events());
+        assert_eq!(serial.model(), sharded.model());
     }
 
     #[test]

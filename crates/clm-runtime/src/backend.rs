@@ -19,7 +19,7 @@
 //! simulated backend the lane times are simulated device seconds; for the
 //! threaded backend they are measured thread busy times.
 
-use clm_core::{BatchReport, Trainer};
+use clm_core::{BatchReport, DensifyReport, Trainer};
 use gs_core::camera::Camera;
 use gs_render::Image;
 use gs_scene::Dataset;
@@ -63,6 +63,9 @@ pub struct ExecutionReport {
     pub device_lanes: Vec<LaneBusy>,
     /// Simulated makespan in device seconds (simulated backend only).
     pub sim_makespan: Option<f64>,
+    /// The densification resize applied at this batch's boundary, if one
+    /// was due (`None` for the fixed-size batches in between).
+    pub resize: Option<DensifyReport>,
 }
 
 impl ExecutionReport {

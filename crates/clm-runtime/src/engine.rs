@@ -37,6 +37,11 @@ const CULL_COST_PER_GAUSSIAN_VIEW: f64 = 2.0e-10;
 /// Scheduling-lane cost per micro-batch pair of ordering/TSP work (seconds).
 const ORDER_COST_PER_PAIR: f64 = 1.0e-6;
 
+/// Host-side cost per changed row of a densification resize (seconds):
+/// compacting/appending one Gaussian's attribute rows, optimiser state and
+/// pinned host row is a few hundred bytes of memcpy.
+pub(crate) const RESIZE_COST_PER_ROW: f64 = 1.0e-8;
+
 /// Configuration of the pipelined runtime.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -126,6 +131,21 @@ impl CostModel {
         let m = plan.num_microbatches() as f64;
         n * m * CULL_COST_PER_GAUSSIAN_VIEW + m * m * ORDER_COST_PER_PAIR
     }
+
+    /// Host seconds the boundary resize recorded in `plan` costs (0 when
+    /// the plan has none).
+    pub fn resize_time(&self, plan: &BatchPlan) -> f64 {
+        plan.resize
+            .as_ref()
+            .map(|e| self.scaled_gaussians(e.rows_changed()) as f64 * RESIZE_COST_PER_ROW)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The largest per-micro-batch fetch of a plan, in rows — what the pinned
+/// staging pool must be able to lease after a resize.
+pub(crate) fn max_fetch_rows(plan: &BatchPlan) -> usize {
+    plan.fetched.iter().map(|s| s.len()).max().unwrap_or(0)
 }
 
 /// A trainer executing as a discrete-event pipeline on the simulated device.
@@ -209,7 +229,12 @@ impl PipelinedEngine {
         );
         assert!(!cameras.is_empty(), "batch must contain at least one view");
 
-        let plan = self.trainer.plan_batch(cameras);
+        // Densification boundary first: every lane of this engine is scoped
+        // to one batch, so between batches the pipeline is drained and the
+        // model may resize.  The plan is computed against the post-resize
+        // model; the resize itself is costed on the host scheduler lane and
+        // re-leases the pinned staging pool at the new row counts.
+        let plan = self.trainer.resize_and_plan(cameras);
         let mut grads = GradientBuffer::for_model(self.trainer.model());
         let mut timeline = Timeline::new();
         let cost = CostModel::from_runtime(&self.config);
@@ -217,11 +242,21 @@ impl PipelinedEngine {
             .window_selector
             .choose(self.config.policy, self.config.prefetch_window);
 
+        let mut sched_deps = Vec::new();
+        if plan.resize.is_some() {
+            self.pool.reprovision(crate::engine::max_fetch_rows(&plan));
+            sched_deps.push(timeline.push(
+                OpKind::Resize,
+                Lane::CpuScheduler,
+                cost.resize_time(&plan),
+                &[],
+            ));
+        }
         let sched = timeline.push(
             OpKind::Scheduling,
             Lane::CpuScheduler,
             cost.scheduling_time(self.trainer.model().len(), &plan),
-            &[],
+            &sched_deps,
         );
 
         let total_loss = match self.trainer.config().system {
@@ -273,6 +308,7 @@ impl PipelinedEngine {
             timeline,
             views: cameras.len(),
             prefetch_window: window,
+            resize: plan.resize.as_ref().map(|e| e.report()),
         }
     }
 
@@ -618,6 +654,7 @@ impl ExecutionBackend for PipelinedEngine {
             },
             device_lanes: Vec::new(),
             sim_makespan: Some(t.makespan()),
+            resize: report.resize,
             batch: report.batch,
         }
     }

@@ -34,6 +34,9 @@ pub struct PoolStats {
     pub recycled: u64,
     /// Acquires that had to allocate a fresh buffer.
     pub allocated: u64,
+    /// Times the pool was re-leased for a model resize
+    /// ([`PinnedBufferPool::reprovision`]).
+    pub reprovisions: u64,
 }
 
 impl PoolStats {
@@ -115,6 +118,30 @@ impl PinnedBufferPool {
             .max(self.outstanding_bytes + self.free_bytes);
     }
 
+    /// Re-leases the pool for a densification resize: every **free** buffer
+    /// is regrown to hold at least `min_rows` staged rows, so the first
+    /// post-resize gathers run from right-sized pinned allocations instead
+    /// of growing mid-lane (a pinned realloc inside a gather is exactly the
+    /// stall the pool exists to avoid).  Outstanding buffers are untouched —
+    /// the caller drains its lanes before resizing, so at a boundary there
+    /// are none.  The owned-footprint high-water mark accounts for any
+    /// growth, and the event is counted in [`PoolStats::reprovisions`].
+    pub fn reprovision(&mut self, min_rows: usize) {
+        self.stats.reprovisions += 1;
+        for buf in &mut self.free {
+            if buf.capacity() < min_rows {
+                self.free_bytes -= (buf.capacity() * ROW_BYTES) as u64;
+                buf.clear();
+                buf.reserve(min_rows);
+                self.free_bytes += (buf.capacity() * ROW_BYTES) as u64;
+            }
+        }
+        self.stats.high_water_bytes = self
+            .stats
+            .high_water_bytes
+            .max(self.outstanding_bytes + self.free_bytes);
+    }
+
     /// Current usage statistics.
     pub fn stats(&self) -> PoolStats {
         self.stats
@@ -189,6 +216,32 @@ mod tests {
         assert_eq!(pool.owned_bytes(), owned);
         pool.release(b);
         assert_eq!(pool.stats().high_water_bytes, owned);
+    }
+
+    #[test]
+    fn reprovision_regrows_free_buffers_and_tracks_footprint() {
+        let mut pool = PinnedBufferPool::new();
+        let a = pool.acquire(8);
+        let b = pool.acquire(8);
+        pool.release(a);
+        // One buffer free, one outstanding: re-leasing at a larger row
+        // count must grow only the free one and count the event.
+        pool.reprovision(64);
+        assert_eq!(pool.stats().reprovisions, 1);
+        let regrown = pool.acquire(1);
+        assert!(
+            regrown.capacity() >= 64,
+            "free buffer re-leased at the new row count"
+        );
+        assert!(pool.stats().high_water_bytes >= pool.owned_bytes());
+        pool.release(b);
+        pool.release(regrown);
+        assert_eq!(pool.stats().outstanding, 0);
+        // Already-large-enough buffers are left alone.
+        let owned = pool.owned_bytes();
+        pool.reprovision(4);
+        assert_eq!(pool.owned_bytes(), owned);
+        assert_eq!(pool.stats().reprovisions, 2);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! makespan, per-lane busy/idle time and communication volume the paper's
 //! Figures 11–15 and Table 7 are derived from.
 
-use clm_core::BatchReport;
+use clm_core::{BatchReport, DensifyReport};
 use sim_device::{Lane, OpKind, Timeline};
 
 /// Busy/idle accounting of one lane over one iteration.
@@ -36,6 +36,9 @@ pub struct IterationReport {
     /// configured window under `PrefetchPolicy::Fixed`, the measured-ratio
     /// choice under `PrefetchPolicy::Adaptive`).
     pub prefetch_window: usize,
+    /// The densification resize applied at this batch's boundary, if one
+    /// was due (`None` for the fixed-size batches in between).
+    pub resize: Option<DensifyReport>,
 }
 
 impl IterationReport {
@@ -135,6 +138,7 @@ mod tests {
             timeline: t,
             views: 2,
             prefetch_window: 1,
+            resize: None,
         }
     }
 
@@ -170,6 +174,7 @@ mod tests {
             timeline: t,
             views: 2,
             prefetch_window: 0,
+            resize: None,
         };
         // Device 0's group is the classic lanes; device 1's lanes are only
         // visible through the device-aware helpers.

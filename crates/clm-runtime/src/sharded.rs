@@ -77,6 +77,10 @@ pub struct ShardedEngine {
     trainer: Trainer,
     config: RuntimeConfig,
     partition: GaussianPartition,
+    /// The views the partitioner balances projected footprints over, kept so
+    /// a densification boundary can re-run the partition for the resized
+    /// Gaussian population.
+    partition_cameras: Vec<Camera>,
     pool: PinnedBufferPool,
     window_selector: WindowSelector,
     /// Staged rows served from the fetching device's own shard so far.
@@ -131,6 +135,7 @@ impl ShardedEngine {
             trainer: Trainer::new(initial_model, train),
             config,
             partition,
+            partition_cameras: cameras.to_vec(),
             pool: PinnedBufferPool::new(),
             window_selector,
             local_rows: 0,
@@ -154,13 +159,19 @@ impl ShardedEngine {
         &self.partition
     }
 
-    /// Recomputes the ownership partition from the current model (e.g.
-    /// after densification changed the Gaussian population).  Pure
-    /// scheduling: ownership never affects the numerics.
-    pub fn repartition(&mut self, cameras: &[Camera]) {
+    /// Recomputes the ownership partition from the current model over the
+    /// construction-time camera set — run automatically at every
+    /// densification boundary so new Gaussians land on balanced devices.
+    /// Pure scheduling: ownership never affects the numerics.
+    pub fn repartition(&mut self) {
         if self.trainer.config().system == SystemKind::Clm {
-            self.partition =
-                partition_by_footprint(self.trainer.model(), cameras, self.config.num_devices);
+            self.partition = partition_by_footprint(
+                self.trainer.model(),
+                &self.partition_cameras,
+                self.config.num_devices,
+            );
+        } else {
+            self.partition = GaussianPartition::single_device(self.trainer.model().len());
         }
     }
 
@@ -206,7 +217,14 @@ impl ShardedEngine {
         );
         assert!(!cameras.is_empty(), "batch must contain at least one view");
 
-        let plan = self.trainer.plan_batch(cameras);
+        // Densification boundary first: the per-device lane groups are all
+        // scoped to one batch, so between batches every lane is drained and
+        // the model may resize.  The boundary re-runs the footprint
+        // partition so new Gaussians land on balanced devices, and
+        // re-leases the shared pinned pool at the new row counts — both
+        // pure scheduling, so the trajectory stays bit-identical to the
+        // 1-device trainer.
+        let plan = self.trainer.resize_and_plan(cameras);
         let mut grads = GradientBuffer::for_model(self.trainer.model());
         let mut timeline = Timeline::new();
         let cost = CostModel::from_runtime(&self.config);
@@ -214,11 +232,22 @@ impl ShardedEngine {
             .window_selector
             .choose(self.config.policy, self.config.prefetch_window);
 
+        let mut sched_deps = Vec::new();
+        if plan.resize.is_some() {
+            self.repartition();
+            self.pool.reprovision(crate::engine::max_fetch_rows(&plan));
+            sched_deps.push(timeline.push(
+                OpKind::Resize,
+                Lane::CpuScheduler,
+                cost.resize_time(&plan),
+                &[],
+            ));
+        }
         let sched = timeline.push(
             OpKind::Scheduling,
             Lane::CpuScheduler,
             cost.scheduling_time(self.trainer.model().len(), &plan),
-            &[],
+            &sched_deps,
         );
 
         let total_loss = match self.trainer.config().system {
@@ -268,6 +297,7 @@ impl ShardedEngine {
             timeline,
             views: cameras.len(),
             prefetch_window: window,
+            resize: plan.resize.as_ref().map(|e| e.report()),
         }
     }
 
@@ -603,6 +633,7 @@ impl ExecutionBackend for ShardedEngine {
             },
             device_lanes,
             sim_makespan: Some(t.makespan()),
+            resize: report.resize,
             batch: report.batch,
         }
     }

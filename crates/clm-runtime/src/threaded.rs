@@ -181,7 +181,14 @@ impl ThreadedBackend {
         assert!(!cameras.is_empty(), "batch must contain at least one view");
 
         let wall_start = Instant::now();
-        let plan = self.trainer.plan_batch(cameras);
+        // Densification boundary first: the worker lanes are scoped to one
+        // batch (std::thread::scope below), so between batches nothing is in
+        // flight and the model may resize; the lanes then spawn against the
+        // post-resize store.  Boundary work is scheduler-lane time.
+        let plan = self.trainer.resize_and_plan(cameras);
+        if plan.resize.is_some() {
+            self.pool.reprovision(crate::engine::max_fetch_rows(&plan));
+        }
         let scheduling_seconds = wall_start.elapsed().as_secs_f64();
 
         let m = plan.num_microbatches();
@@ -416,6 +423,7 @@ impl ThreadedBackend {
             },
             device_lanes: Vec::new(),
             sim_makespan: None,
+            resize: plan.resize.as_ref().map(|e| e.report()),
         }
     }
 

@@ -250,6 +250,31 @@ impl GaussianAdam {
         self.rows.resize_with(len, MomentRow::new);
     }
 
+    /// Resizes the optimiser state for a densification boundary, following
+    /// the paper's heuristic: pruned rows are dropped, surviving rows keep
+    /// their moments and step counts (a clone/split continues the original's
+    /// trajectory), and the appended rows start from fresh zero moments —
+    /// exactly the state a lazily-grown optimiser would give them.
+    ///
+    /// `pruned` must be sorted pre-resize indices; `new_len` is the model
+    /// size after the resize.
+    ///
+    /// # Panics
+    /// Panics if a pruned index is out of bounds of the current state.
+    pub fn apply_resize(&mut self, pruned: &[u32], new_len: usize) {
+        if !pruned.is_empty() {
+            let mut remove = vec![false; self.rows.len()];
+            for &i in pruned {
+                let i = i as usize;
+                assert!(i < remove.len(), "pruned index {i} out of bounds");
+                remove[i] = true;
+            }
+            let mut flags = remove.iter();
+            self.rows.retain(|_| !*flags.next().unwrap());
+        }
+        self.resize(new_len);
+    }
+
     /// Applies one Adam step to **every** Gaussian using the gradients in
     /// `grads` (Gaussians without gradients receive a zero gradient, which
     /// still decays their moments — this matches dense GPU Adam).
@@ -578,6 +603,63 @@ mod tests {
             "converged to {}",
             model.opacity_logits()[0]
         );
+    }
+
+    #[test]
+    fn apply_resize_compacts_pruned_rows_and_zeroes_new_ones() {
+        // Age rows 0..4 by distinct step counts so compaction is observable.
+        let mut model = model_of(4);
+        let mut opt = GaussianAdam::new(4, AdamConfig::default());
+        let grads = varied_grads(4);
+        opt.step_dense(&mut model, &grads);
+        opt.step_subset(&mut model, &grads, &[2, 3]);
+        opt.step_subset(&mut model, &grads, &[3]);
+        assert_eq!(
+            (0..4).map(|i| opt.step_count(i)).collect::<Vec<_>>(),
+            vec![1, 1, 2, 3]
+        );
+
+        // Prune rows 0 and 2, then grow to 5: survivors {1, 3} slide to
+        // rows {0, 1} with their step counts intact; rows 2..5 are fresh.
+        opt.apply_resize(&[0, 2], 5);
+        assert_eq!(opt.len(), 5);
+        assert_eq!(opt.step_count(0), 1, "old row 1 kept its state");
+        assert_eq!(opt.step_count(1), 3, "old row 3 kept its state");
+        for i in 2..5 {
+            assert_eq!(opt.step_count(i), 0, "appended row {i} starts fresh");
+        }
+    }
+
+    #[test]
+    fn apply_resize_survivors_step_like_never_resized() {
+        // A survivor's moments must be byte-identical to an optimiser that
+        // never went through a resize: further steps on both must agree.
+        let grads = varied_grads(3);
+        let mut model_resized = model_of(3);
+        let mut opt_resized = GaussianAdam::new(3, AdamConfig::default());
+        opt_resized.step_dense(&mut model_resized, &grads);
+
+        // A parallel world that only ever held row 1, fed the same gradient.
+        let mut model_plain: GaussianModel = std::iter::once(model_of(3).get(1)).collect();
+        let mut opt_plain = GaussianAdam::new(1, AdamConfig::default());
+        let mut buf = GradientBuffer::new(1);
+        buf.add(0, &grads.row(1));
+        opt_plain.step_dense(&mut model_plain, &buf);
+
+        // Prune rows 0 and 2; the survivor slides to row 0.
+        opt_resized.apply_resize(&[0, 2], 1);
+        let mut model_after: GaussianModel = std::iter::once(model_resized.get(1)).collect();
+        assert_eq!(model_after, model_plain);
+        opt_resized.step_dense(&mut model_after, &buf);
+        opt_plain.step_dense(&mut model_plain, &buf);
+        assert_eq!(model_after, model_plain, "survivor state must not drift");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn apply_resize_rejects_out_of_range_prunes() {
+        let mut opt = GaussianAdam::new(2, AdamConfig::default());
+        opt.apply_resize(&[7], 2);
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod init;
 pub mod partition;
 pub mod spec;
 
-pub use densify::{densify_and_prune, DensifyConfig, DensifyReport};
+pub use densify::{
+    apply_resize, densify_and_prune, plan_resize, remove_rows_in_place, DensifyConfig,
+    DensifyReport, ResizeAction, ResizeEvent,
+};
 pub use generate::{generate_dataset, Dataset, DatasetConfig};
 pub use init::{init_from_point_cloud, init_random, InitConfig};
 pub use partition::{partition_by_footprint, projected_footprints, GaussianPartition};

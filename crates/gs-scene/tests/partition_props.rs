@@ -1,0 +1,135 @@
+//! Property tests for the visibility-aware Gaussian partitioner.
+//!
+//! `partition_by_footprint` feeds the sharded runtime's ownership decisions,
+//! so its invariants are load-bearing for the whole multi-device path:
+//! every Gaussian must get exactly one owner (a lost or doubly-owned row
+//! would corrupt the owner-sharded CPU Adam accounting), the assignment
+//! must be deterministic (every shard-count run of a training job — and
+//! every densification boundary's repartition — must agree), and the
+//! greedy-LPT balance bound must hold for **arbitrary** visibility masks,
+//! not just the well-behaved synthetic scenes the unit tests use.  Models
+//! here are randomised point clouds: positions scatter in and out of the
+//! camera frustums, so each case exercises a different random visibility
+//! pattern.
+
+use gs_core::camera::Camera;
+use gs_core::gaussian::{Gaussian, GaussianModel};
+use gs_core::math::Vec3;
+use gs_scene::{
+    generate_dataset, partition_by_footprint, projected_footprints, DatasetConfig, SceneKind,
+    SceneSpec,
+};
+use proptest::prelude::*;
+
+/// Deterministic camera rig shared by every case (the randomness lives in
+/// the models, which scatter in and out of these frustums).
+fn camera_rig() -> Vec<Camera> {
+    generate_dataset(&SceneSpec::of(SceneKind::Bicycle), &DatasetConfig::tiny()).cameras
+}
+
+/// Builds a model from sampled rows: position, log-size and opacity per
+/// Gaussian.  Positions range far enough to leave some Gaussians outside
+/// every frustum (zero visibility) and some huge ones near cameras
+/// (footprints that hit the per-view pixel clamp).
+fn model_from_rows(rows: &[((f32, f32, f32), (f32, f32))]) -> GaussianModel {
+    rows.iter()
+        .map(|&((x, y, z), (log_sigma, opacity))| {
+            Gaussian::isotropic(
+                Vec3::new(x, y, z),
+                log_sigma.exp(),
+                [0.4, 0.5, 0.6],
+                opacity,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn every_row_is_assigned_exactly_once(
+        rows in proptest::collection::vec(
+            ((-6.0f32..6.0, -4.0f32..4.0, -6.0f32..6.0), (-4.0f32..1.0, 0.05f32..0.95)),
+            1..48,
+        ),
+        devices in 1usize..6,
+    ) {
+        let model = model_from_rows(&rows);
+        let cameras = camera_rig();
+        let partition = partition_by_footprint(&model, &cameras, devices);
+
+        prop_assert_eq!(partition.len(), model.len());
+        prop_assert_eq!(partition.num_devices(), devices);
+        prop_assert_eq!(
+            partition.device_counts().iter().sum::<usize>(),
+            model.len(),
+            "device counts must cover the model exactly"
+        );
+        // Totality + disjointness: the per-device sets tile the model, and
+        // every owner index is in range.
+        let mut covered = 0usize;
+        for d in 0..devices {
+            let set = partition.device_set(d);
+            prop_assert_eq!(set.len(), partition.device_counts()[d]);
+            for g in set.iter() {
+                prop_assert_eq!(partition.owner_of(g), d);
+            }
+            covered += set.len();
+        }
+        prop_assert_eq!(covered, model.len());
+        prop_assert!(partition.owners().iter().all(|&o| (o as usize) < devices));
+    }
+
+    #[test]
+    fn assignment_is_deterministic_across_runs(
+        rows in proptest::collection::vec(
+            ((-6.0f32..6.0, -4.0f32..4.0, -6.0f32..6.0), (-4.0f32..1.0, 0.05f32..0.95)),
+            1..40,
+        ),
+        devices in 1usize..6,
+    ) {
+        let model = model_from_rows(&rows);
+        let cameras = camera_rig();
+        let a = partition_by_footprint(&model, &cameras, devices);
+        let b = partition_by_footprint(&model, &cameras, devices);
+        prop_assert_eq!(a, b, "the partition must be a pure function of its inputs");
+    }
+
+    #[test]
+    fn imbalance_stays_within_the_greedy_bound(
+        rows in proptest::collection::vec(
+            ((-6.0f32..6.0, -4.0f32..4.0, -6.0f32..6.0), (-4.0f32..1.0, 0.05f32..0.95)),
+            1..48,
+        ),
+        devices in 2usize..6,
+    ) {
+        // Greedy least-loaded assignment guarantees max ≤ min + largest
+        // item: when the heaviest device received its last Gaussian it was
+        // the lightest, so it exceeds today's minimum by at most that
+        // Gaussian's load.  This holds for every visibility mask — including
+        // all-invisible models (unit floor) and clamped near-camera splats.
+        let model = model_from_rows(&rows);
+        let cameras = camera_rig();
+        let loads = projected_footprints(&model, &cameras);
+        let partition = partition_by_footprint(&model, &cameras, devices);
+
+        prop_assert!(loads.iter().all(|&l| l >= 1.0), "unit footprint floor");
+        let max_item = loads.iter().cloned().fold(0.0f64, f64::max);
+        let max_dev = partition.device_footprints().iter().cloned().fold(0.0f64, f64::max);
+        let min_dev = partition
+            .device_footprints()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            max_dev <= min_dev + max_item + 1e-9,
+            "greedy bound violated: max {max_dev}, min {min_dev}, largest item {max_item}"
+        );
+        // With more rows than devices the unit floor keeps every device
+        // non-empty, so the max/min ratio is finite and bounded too.
+        if model.len() >= devices {
+            prop_assert!(partition.device_counts().iter().all(|&c| c > 0));
+            prop_assert!(partition.load_imbalance().is_finite());
+            prop_assert!(partition.load_imbalance() <= 1.0 + max_item / min_dev + 1e-9);
+        }
+    }
+}

@@ -130,6 +130,10 @@ pub enum OpKind {
     /// Cross-device gradient all-reduce step of a sharded (data-parallel)
     /// schedule.
     AllReduce,
+    /// Mid-training model resize at a densification boundary: host-side row
+    /// compaction/append of the offloaded store, optimiser state and pinned
+    /// staging buffers while every lane is drained.
+    Resize,
     /// Adam update executed on the CPU thread.
     CpuAdamUpdate,
     /// Adam update executed on the GPU (GPU-only baselines).

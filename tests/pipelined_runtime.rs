@@ -152,3 +152,29 @@ fn runtime_reports_cover_all_lanes_and_traffic() {
     assert!(stats.high_water_buffers <= engine.config().prefetch_window + 1);
     assert!(stats.acquires > 0);
 }
+
+// ---------------------------------------------------------------------------
+// Densification conformance: this backend's leg of the shared cross-backend
+// harness (`tests/conformance/`).  The full suite replays the same run
+// through every backend; this hook keeps the pipelined engine's conformance
+// failure local to its own test file.
+#[path = "conformance/harness.rs"]
+mod harness;
+
+#[test]
+fn pipelined_engine_passes_the_densifying_conformance_run() {
+    let scenario = harness::densifying_scenario();
+    let reference = harness::run_reference(&scenario, harness::EPOCHS);
+    harness::assert_densification_exercised(&reference);
+    let mut engine = PipelinedEngine::new(
+        scenario.init.clone(),
+        scenario.train.clone(),
+        RuntimeConfig {
+            prefetch_window: 2,
+            ..Default::default()
+        },
+    );
+    let trajectory = harness::run_backend(&mut engine, &scenario, harness::EPOCHS);
+    harness::assert_trajectories_match(&reference, &trajectory, "pipelined");
+    assert_eq!(engine.trainer().resize_events(), reference.resize_events());
+}

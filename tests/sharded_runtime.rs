@@ -313,3 +313,36 @@ fn sharded_engine_runs_the_comparison_systems_on_device_zero() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Densification conformance: this backend's leg of the shared cross-backend
+// harness (`tests/conformance/`).
+#[path = "conformance/harness.rs"]
+mod harness;
+
+#[test]
+fn sharded_engine_passes_the_densifying_conformance_run_at_every_device_count() {
+    // Every boundary re-runs the footprint partition over the resized
+    // population before the next batch's lanes are laid out.
+    let scenario = harness::densifying_scenario();
+    let reference = harness::run_reference(&scenario, harness::EPOCHS);
+    harness::assert_densification_exercised(&reference);
+    for devices in DEVICE_COUNTS {
+        let mut sharded = ShardedEngine::new(
+            scenario.init.clone(),
+            scenario.train.clone(),
+            RuntimeConfig {
+                prefetch_window: 2,
+                num_devices: devices,
+                ..Default::default()
+            },
+            &scenario.dataset.cameras,
+        );
+        let trajectory = harness::run_backend(&mut sharded, &scenario, harness::EPOCHS);
+        harness::assert_trajectories_match(&reference, &trajectory, &format!("sharded@{devices}"));
+        // The post-resize partition stays total and balanced over the new
+        // population.
+        assert_eq!(sharded.partition().len(), trajectory.final_model.len());
+        assert!(sharded.partition().device_counts().iter().all(|&c| c > 0));
+    }
+}

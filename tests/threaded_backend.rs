@@ -172,3 +172,32 @@ fn threaded_adaptive_window_reports_choices_without_changing_numerics() {
     );
     assert_eq!(adaptive.trainer().model(), sync.model());
 }
+
+// ---------------------------------------------------------------------------
+// Densification conformance: this backend's leg of the shared cross-backend
+// harness (`tests/conformance/`).
+#[path = "conformance/harness.rs"]
+mod harness;
+
+#[test]
+fn threaded_backend_passes_the_densifying_conformance_run() {
+    // The worker lanes respawn against the resized store every batch.
+    let scenario = harness::densifying_scenario();
+    let reference = harness::run_reference(&scenario, harness::EPOCHS);
+    harness::assert_densification_exercised(&reference);
+    let mut backend = ThreadedBackend::new(
+        scenario.init.clone(),
+        scenario.train.clone(),
+        ThreadedConfig {
+            prefetch_window: 2,
+            ..Default::default()
+        },
+    );
+    let trajectory = harness::run_backend(&mut backend, &scenario, harness::EPOCHS);
+    harness::assert_trajectories_match(&reference, &trajectory, "threaded");
+    assert_eq!(backend.pool_stats().outstanding, 0);
+    assert_eq!(
+        backend.pool_stats().reprovisions,
+        reference.resize_events() as u64
+    );
+}
