@@ -91,6 +91,9 @@ fn main() -> ExitCode {
     scale.compute_threads = compute_threads;
     scale.devices = devices;
     let bench = run_wallclock_bench(scale);
+    if let Some(note) = bench.perf_note() {
+        eprintln!("bench_runtime: {note}");
+    }
     let json = bench.to_json();
     println!("{json}");
 

@@ -11,12 +11,14 @@
 //! fall — are the reproduction target, recorded in `EXPERIMENTS.md`.
 
 pub mod runtime_reports;
+pub mod trace;
 pub mod wallclock;
 
 pub use runtime_reports::{
     runtime_summary_figure11, runtime_summary_figure12, runtime_summary_figure13,
     runtime_summary_figure15, runtime_summary_table7,
 };
+pub use trace::{record_trace, TRACE_BACKENDS};
 pub use wallclock::{run_wallclock_bench, WallclockBench, WallclockScale};
 
 use clm_core::{

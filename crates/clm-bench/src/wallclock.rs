@@ -288,11 +288,22 @@ impl BackendMeasurement {
     }
 
     fn busy_fraction(&self, lane_seconds: f64) -> f64 {
-        if self.lane_denominator_s > 0.0 {
-            lane_seconds / self.lane_denominator_s
-        } else {
-            0.0
+        if self.lane_denominator_s <= 0.0 {
+            return 0.0;
         }
+        // A sharded entry sums each lane class across its devices while the
+        // denominator stays the one shared makespan, so the raw quotient
+        // can exceed 1 (it used to report 1.32 at 2 devices).  Normalise to
+        // the per-device mean so the fraction is a utilisation again.
+        let devices = self.device_lanes.len().max(1) as f64;
+        let fraction = lane_seconds / (self.lane_denominator_s * devices);
+        debug_assert!(
+            fraction <= 1.0 + 1e-9,
+            "{}: busy fraction {fraction} exceeds 1 (lane {lane_seconds}s over {}s x {devices} devices)",
+            self.name,
+            self.lane_denominator_s,
+        );
+        fraction
     }
 }
 
@@ -362,6 +373,16 @@ impl WallclockBench {
         )
     }
 
+    /// Caveat attached to the artefact when the host cannot actually
+    /// overlap lanes: on one core the threaded entries time-slice, so their
+    /// speedups under-represent a multi-core run.  `None` on ≥ 2 cores.
+    pub fn perf_note(&self) -> Option<&'static str> {
+        (self.host_cores == 1).then_some(
+            "single-core host: threaded lanes time-slice instead of overlapping; \
+             measured speedups under-represent multi-core hardware",
+        )
+    }
+
     /// Serialises the result as a single-line JSON object.
     pub fn to_json(&self) -> String {
         let backends = self
@@ -370,8 +391,13 @@ impl WallclockBench {
             .map(BackendMeasurement::json)
             .collect::<Vec<_>>()
             .join(",");
+        let perf_note = match self.perf_note() {
+            Some(note) => format!("\"{note}\""),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"bench\":\"runtime_wallclock\",\"scale\":\"{}\",\"host_cores\":{},\
+             \"perf_note\":{perf_note},\
              \"compute_threads\":{},\"devices\":{},\"densify_every\":{},\
              \"views_per_epoch\":{},\"epochs\":{},\"batch_size\":{},\"prefetch_window\":{},\
              \"model_gaussians\":{},\"resolution\":\"{}x{}\",\
@@ -441,7 +467,7 @@ fn resize_trajectory(walls: &[f64], views: &[usize], resized: &[bool]) -> (u64, 
     (events, delta)
 }
 
-fn bench_scene(scale: &WallclockScale) -> (Dataset, Vec<Image>, GaussianModel) {
+pub(crate) fn bench_scene(scale: &WallclockScale) -> (Dataset, Vec<Image>, GaussianModel) {
     let spec = SceneSpec::of(SceneKind::Rubble);
     let dataset = generate_dataset(
         &spec,
@@ -467,7 +493,7 @@ fn bench_scene(scale: &WallclockScale) -> (Dataset, Vec<Image>, GaussianModel) {
     (dataset, targets, init)
 }
 
-fn train_config(scale: &WallclockScale) -> TrainConfig {
+pub(crate) fn train_config(scale: &WallclockScale) -> TrainConfig {
     TrainConfig {
         system: SystemKind::Clm,
         batch_size: scale.batch_size,
@@ -703,6 +729,7 @@ pub fn looks_like_bench_json(s: &str) -> bool {
         && t.ends_with('}')
         && depth_balanced
         && t.contains("\"bench\":\"runtime_wallclock\"")
+        && t.contains("\"perf_note\":")
         && t.contains("\"speedup_threaded_vs_sync\":")
         && t.contains("\"compute_speedup_parallel_vs_serial\":")
         && t.contains("\"numerics_match\":")
@@ -739,6 +766,21 @@ mod tests {
         assert!(looks_like_bench_json(&json), "malformed: {json}");
         assert!(json.contains("\"numerics_match\":true"));
         assert!(json.contains("\"sharded_bit_identical\":true"));
+        // The single-core caveat is present exactly when the host cannot
+        // overlap lanes.
+        if bench.host_cores == 1 {
+            assert!(json.contains("\"perf_note\":\"single-core host"));
+        } else {
+            assert!(json.contains("\"perf_note\":null"));
+        }
+        // Busy fractions are utilisations again — the sharded entry used to
+        // report 1.32 by summing device lanes against one shared makespan.
+        for b in &bench.backends {
+            for lane_s in [b.comm_busy_s, b.adam_busy_s, b.compute_busy_s] {
+                let f = b.busy_fraction(lane_s);
+                assert!((0.0..=1.0).contains(&f), "{}: fraction {f}", b.name);
+            }
+        }
         // The threaded backends actually used their gather and Adam lanes
         // (the lane accounting these fields report used to flatline at 0).
         for name in ["threaded", "threaded_parallel"] {

@@ -697,6 +697,147 @@ impl Trainer {
         self.finish_batch(&plan, &grads, total_loss)
     }
 
+    /// [`train_batch`](Self::train_batch) with measured wall-clock span
+    /// capture: every phase of the **serial** reference path is timed on
+    /// the host clock and pushed onto `timeline` as a measured span
+    /// (batch-relative seconds), so the synchronous trainer can feed the
+    /// same trace pipeline the scheduled backends do.  Span attribution
+    /// mirrors the runtime engines' lanes: resize and planning on the
+    /// scheduler lane, staging gathers on the communication lane, the
+    /// render (forward + backward kernels) as a `Forward` span and the
+    /// gradient accumulation as a `Backward` span on the compute lane, and
+    /// optimiser work on the CPU Adam lane.  Always runs the serial loop —
+    /// wave parallelism is bit-identical numerically, but its phases
+    /// overlap and would not map one-to-one onto spans.
+    ///
+    /// # Panics
+    /// Panics if `cameras` and `targets` differ in length or are empty.
+    pub fn train_batch_spanned(
+        &mut self,
+        cameras: &[Camera],
+        targets: &[Image],
+        timeline: &mut sim_device::Timeline,
+    ) -> BatchReport {
+        use sim_device::{Lane, OpKind};
+        use std::time::Instant;
+        assert_eq!(
+            cameras.len(),
+            targets.len(),
+            "need one target image per camera"
+        );
+        assert!(!cameras.is_empty(), "batch must contain at least one view");
+
+        let t0 = Instant::now();
+        let clock = || t0.elapsed().as_secs_f64();
+
+        let resize = self.pending_resize();
+        if let Some(event) = &resize {
+            let s = clock();
+            let rows = event.rows_changed() as u64;
+            self.apply_resize(event);
+            timeline.push_span(
+                OpKind::Resize,
+                Lane::CpuScheduler,
+                s,
+                clock(),
+                0,
+                rows,
+                None,
+            );
+        }
+        let s = clock();
+        let mut plan = self.plan_batch(cameras);
+        plan.resize = resize;
+        timeline.push_span(
+            OpKind::Scheduling,
+            Lane::CpuScheduler,
+            s,
+            clock(),
+            0,
+            self.model.len() as u64,
+            None,
+        );
+
+        let mut grads = GradientBuffer::for_model(&self.model);
+        let mut staging = Vec::new();
+        let mut total_loss = 0.0f32;
+
+        if self.overlapped() {
+            let s = clock();
+            let rows = plan.untouched.len() as u64;
+            self.begin_batch(&plan, &grads);
+            timeline.push_span(
+                OpKind::CpuAdamUpdate,
+                Lane::CpuAdam,
+                s,
+                clock(),
+                0,
+                rows,
+                None,
+            );
+        } else {
+            self.begin_batch(&plan, &grads);
+        }
+        for micro_idx in 0..plan.num_microbatches() {
+            let mb = Some(micro_idx as u32);
+            let s = clock();
+            self.stage_microbatch(&plan, micro_idx, &mut staging);
+            timeline.push_span(
+                OpKind::LoadParams,
+                Lane::GpuComm,
+                s,
+                clock(),
+                plan.fetch_bytes(micro_idx),
+                plan.fetched[micro_idx].len() as u64,
+                mb,
+            );
+            let rows = plan.ordered_sets[micro_idx].len() as u64;
+            let s = clock();
+            let (loss, render_grads) =
+                self.render_microbatch(&plan, micro_idx, cameras, targets, &staging);
+            timeline.push_span(OpKind::Forward, Lane::GpuCompute, s, clock(), 0, rows, mb);
+            total_loss += loss;
+            let s = clock();
+            grads.accumulate_render(&render_grads);
+            timeline.push_span(OpKind::Backward, Lane::GpuCompute, s, clock(), 0, rows, mb);
+            if self.overlapped() {
+                let s = clock();
+                let rows = plan.finalization.finalized_by(micro_idx).len() as u64;
+                self.apply_finalized(&plan, micro_idx, &grads);
+                timeline.push_span(
+                    OpKind::CpuAdamUpdate,
+                    Lane::CpuAdam,
+                    s,
+                    clock(),
+                    0,
+                    rows,
+                    mb,
+                );
+            }
+        }
+        let s = clock();
+        let overlapped = self.overlapped();
+        let rows = self.model.len() as u64;
+        let report = self.finish_batch(&plan, &grads, total_loss);
+        if overlapped {
+            // Batch close is store re-sync and accounting: host-side work.
+            timeline.push_span(OpKind::Other, Lane::CpuScheduler, s, clock(), 0, 0, None);
+        } else {
+            // The dense optimiser step dominates the close for
+            // non-overlapped strategies.
+            timeline.push_span(
+                OpKind::CpuAdamUpdate,
+                Lane::CpuAdam,
+                s,
+                clock(),
+                0,
+                rows,
+                None,
+            );
+        }
+        report
+    }
+
     /// Executes one planned batch in **waves of `wave` views** rendered
     /// concurrently — the second parallelism level above the banded
     /// per-view kernels (`wave = compute_threads` under `view_parallel`)

@@ -243,19 +243,25 @@ impl PipelinedEngine {
             .choose(self.config.policy, self.config.prefetch_window);
 
         let mut sched_deps = Vec::new();
-        if plan.resize.is_some() {
+        if let Some(event) = plan.resize.as_ref() {
             self.pool.reprovision(crate::engine::max_fetch_rows(&plan));
-            sched_deps.push(timeline.push(
+            sched_deps.push(timeline.push_traced(
                 OpKind::Resize,
                 Lane::CpuScheduler,
                 cost.resize_time(&plan),
+                0,
+                event.rows_changed() as u64,
+                None,
                 &[],
             ));
         }
-        let sched = timeline.push(
+        let sched = timeline.push_traced(
             OpKind::Scheduling,
             Lane::CpuScheduler,
             cost.scheduling_time(self.trainer.model().len(), &plan),
+            0,
+            self.trainer.model().len() as u64,
+            None,
             &sched_deps,
         );
 
@@ -350,12 +356,15 @@ impl PipelinedEngine {
         if overlapped {
             // F_0: Gaussians the batch never touches are finalised from the
             // start; their CPU Adam update overlaps the whole pipeline.
-            timeline.push(
+            timeline.push_traced(
                 OpKind::CpuAdamUpdate,
                 Lane::CpuAdam,
                 cost.device.cpu_adam_time(
                     cost.scaled_gaussians(plan.untouched.len()) * PARAMS_PER_GAUSSIAN as u64,
                 ),
+                0,
+                plan.untouched.len() as u64,
+                None,
                 &[sched],
             );
         }
@@ -390,17 +399,24 @@ impl PipelinedEngine {
                 .expect("prefetch schedule must have staged this micro-batch");
 
             let pixels = cost.scaled_pixels(&targets[plan.order[i]]);
+            let rows = plan.ordered_sets[i].len() as u64;
             let gaussians = cost.scaled_gaussians(plan.ordered_sets[i].len());
-            let fwd = timeline.push(
+            let fwd = timeline.push_traced(
                 OpKind::Forward,
                 Lane::GpuCompute,
                 cost.device.forward_time(gaussians, pixels),
+                0,
+                rows,
+                Some(i as u32),
                 &[gather_ops[i]],
             );
-            let bwd = timeline.push(
+            let bwd = timeline.push_traced(
                 OpKind::Backward,
                 Lane::GpuCompute,
                 cost.device.backward_time(gaussians, pixels),
+                0,
+                rows,
+                Some(i as u32),
                 &[fwd],
             );
             backward_ops.push(bwd);
@@ -411,12 +427,15 @@ impl PipelinedEngine {
             self.pool.release(buf);
 
             // Retire this micro-batch's finalised gradients to host memory …
+            let group_rows = plan.finalization.finalized_by(i).len() as u64;
             let store_bytes = cost.scaled_bytes(plan.store_bytes(i));
-            let store = timeline.push_with_bytes(
+            let store = timeline.push_traced(
                 OpKind::StoreGrads,
                 Lane::GpuComm,
                 cost.device.transfer_time(store_bytes),
                 store_bytes,
+                group_rows,
+                Some(i as u32),
                 &[bwd],
             );
             last_store = store;
@@ -426,12 +445,15 @@ impl PipelinedEngine {
             self.trainer.apply_finalized(plan, i, grads);
             if overlapped {
                 let group = plan.finalization.finalized_by(i);
-                timeline.push(
+                timeline.push_traced(
                     OpKind::CpuAdamUpdate,
                     Lane::CpuAdam,
                     cost.device.cpu_adam_time(
                         cost.scaled_gaussians(group.len()) * PARAMS_PER_GAUSSIAN as u64,
                     ),
+                    0,
+                    group.len() as u64,
+                    Some(i as u32),
                     &[store],
                 );
             }
@@ -457,10 +479,13 @@ impl PipelinedEngine {
         if !overlapped {
             // Batch-end CPU Adam over the whole model (dense semantics).
             let n = cost.scaled_gaussians(self.trainer.model().len());
-            timeline.push(
+            timeline.push_traced(
                 OpKind::CpuAdamUpdate,
                 Lane::CpuAdam,
                 cost.device.cpu_adam_time(n * PARAMS_PER_GAUSSIAN as u64),
+                0,
+                self.trainer.model().len() as u64,
+                None,
                 &[last_store],
             );
         }
@@ -487,11 +512,13 @@ impl PipelinedEngine {
             deps.push(backward_ops[compute_of]);
         }
         let bytes = cost.scaled_bytes(plan.fetch_bytes(i));
-        let id = timeline.push_with_bytes(
+        let id = timeline.push_traced(
             OpKind::LoadParams,
             Lane::GpuComm,
             cost.device.transfer_time(bytes),
             bytes,
+            plan.fetched[i].len() as u64,
+            Some(i as u32),
             &deps,
         );
         gather_ops.push(id);
@@ -515,11 +542,13 @@ pub(crate) fn run_naive_batch(
 ) -> f32 {
     let n = trainer.model().len();
     let full_bytes = cost.scaled_bytes((n * PARAMS_PER_GAUSSIAN * gs_core::BYTES_PER_PARAM) as u64);
-    let upload = timeline.push_with_bytes(
+    let upload = timeline.push_traced(
         OpKind::LoadParams,
         Lane::GpuComm,
         cost.device.transfer_time(full_bytes),
         full_bytes,
+        n as u64,
+        None,
         &[sched],
     );
 
@@ -529,17 +558,24 @@ pub(crate) fn run_naive_batch(
     let mut last_bwd = upload;
     for i in 0..plan.num_microbatches() {
         let pixels = cost.scaled_pixels(&targets[plan.order[i]]);
+        let rows = plan.ordered_sets[i].len() as u64;
         let gaussians = cost.scaled_gaussians(plan.ordered_sets[i].len());
-        let fwd = timeline.push(
+        let fwd = timeline.push_traced(
             OpKind::Forward,
             Lane::GpuCompute,
             cost.device.forward_time(gaussians, pixels),
+            0,
+            rows,
+            Some(i as u32),
             &[upload],
         );
-        let bwd = timeline.push(
+        let bwd = timeline.push_traced(
             OpKind::Backward,
             Lane::GpuCompute,
             cost.device.backward_time(gaussians, pixels),
+            0,
+            rows,
+            Some(i as u32),
             &[fwd],
         );
         last_bwd = bwd;
@@ -548,18 +584,23 @@ pub(crate) fn run_naive_batch(
         trainer.apply_finalized(plan, i, grads);
     }
 
-    let store = timeline.push_with_bytes(
+    let store = timeline.push_traced(
         OpKind::StoreGrads,
         Lane::GpuComm,
         cost.device.transfer_time(full_bytes),
         full_bytes,
+        n as u64,
+        None,
         &[last_bwd],
     );
-    timeline.push(
+    timeline.push_traced(
         OpKind::CpuAdamUpdate,
         Lane::CpuAdam,
         cost.device
             .cpu_adam_time(cost.scaled_gaussians(n) * PARAMS_PER_GAUSSIAN as u64),
+        0,
+        n as u64,
+        None,
         &[store],
     );
     total_loss
@@ -596,16 +637,22 @@ pub(crate) fn run_gpu_only_batch(
             plan.ordered_sets[i].len()
         };
         let gaussians = cost.scaled_gaussians(count);
-        let fwd = timeline.push(
+        let fwd = timeline.push_traced(
             OpKind::Forward,
             Lane::GpuCompute,
             cost.device.forward_time(gaussians, pixels),
+            0,
+            count as u64,
+            Some(i as u32),
             &[sched],
         );
-        let bwd = timeline.push(
+        let bwd = timeline.push_traced(
             OpKind::Backward,
             Lane::GpuCompute,
             cost.device.backward_time(gaussians, pixels),
+            0,
+            count as u64,
+            Some(i as u32),
             &[fwd],
         );
         last_bwd = bwd;
@@ -614,11 +661,14 @@ pub(crate) fn run_gpu_only_batch(
         trainer.apply_finalized(plan, i, grads);
     }
 
-    timeline.push(
+    timeline.push_traced(
         OpKind::GpuAdamUpdate,
         Lane::GpuCompute,
         cost.device
             .gpu_adam_time(cost.scaled_gaussians(n) * PARAMS_PER_GAUSSIAN as u64),
+        0,
+        n as u64,
+        None,
         &[last_bwd],
     );
     total_loss

@@ -79,7 +79,7 @@ pub use prefetch::{PrefetchPolicy, PrefetchWindow, WarmStartCache, WindowSelecto
 pub use report::{IterationReport, LaneReport};
 pub use sharded::{ShardedEngine, PEER_HOP_FACTOR};
 pub use threaded::{ThreadedBackend, ThreadedConfig};
-pub use workers::{spawn_lane, BusyTimer, WorkerLane};
+pub use workers::{spawn_lane, BusyTimer, RecordedSpan, SpanLog, WorkerLane};
 
 #[cfg(test)]
 mod tests {

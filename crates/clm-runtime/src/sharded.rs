@@ -233,20 +233,26 @@ impl ShardedEngine {
             .choose(self.config.policy, self.config.prefetch_window);
 
         let mut sched_deps = Vec::new();
-        if plan.resize.is_some() {
+        if let Some(event) = plan.resize.as_ref() {
             self.repartition();
             self.pool.reprovision(crate::engine::max_fetch_rows(&plan));
-            sched_deps.push(timeline.push(
+            sched_deps.push(timeline.push_traced(
                 OpKind::Resize,
                 Lane::CpuScheduler,
                 cost.resize_time(&plan),
+                0,
+                event.rows_changed() as u64,
+                None,
                 &[],
             ));
         }
-        let sched = timeline.push(
+        let sched = timeline.push_traced(
             OpKind::Scheduling,
             Lane::CpuScheduler,
             cost.scheduling_time(self.trainer.model().len(), &plan),
+            0,
+            self.trainer.model().len() as u64,
+            None,
             &sched_deps,
         );
 
@@ -350,11 +356,14 @@ impl ShardedEngine {
                 .iter()
                 .enumerate()
             {
-                timeline.push(
+                timeline.push_traced(
                     OpKind::CpuAdamUpdate,
                     Lane::adam_of(dev),
                     cost.device
                         .cpu_adam_time(cost.scaled_gaussians(*count) * PARAMS_PER_GAUSSIAN as u64),
+                    0,
+                    *count as u64,
+                    None,
                     &[sched],
                 );
             }
@@ -388,17 +397,24 @@ impl ShardedEngine {
                 .expect("prefetch schedule must have staged this micro-batch");
 
             let pixels = cost.scaled_pixels(&targets[plan.order[i]]);
+            let rows = plan.ordered_sets[i].len() as u64;
             let gaussians = cost.scaled_gaussians(plan.ordered_sets[i].len());
-            let fwd = timeline.push(
+            let fwd = timeline.push_traced(
                 OpKind::Forward,
                 Lane::compute_of(dev),
                 cost.device.forward_time(gaussians, pixels),
+                0,
+                rows,
+                Some(i as u32),
                 &[gather_ops[i].expect("gather issued before compute")],
             );
-            let bwd = timeline.push(
+            let bwd = timeline.push_traced(
                 OpKind::Backward,
                 Lane::compute_of(dev),
                 cost.device.backward_time(gaussians, pixels),
+                0,
+                rows,
+                Some(i as u32),
                 &[fwd],
             );
             backward_ops[i] = Some(bwd);
@@ -410,12 +426,15 @@ impl ShardedEngine {
 
             // Retire this micro-batch's finalised gradients to the device's
             // host shard …
+            let group_rows = plan.finalization.finalized_by(i).len() as u64;
             let store_bytes = cost.scaled_bytes(plan.store_bytes(i));
-            let store = timeline.push_with_bytes(
+            let store = timeline.push_traced(
                 OpKind::StoreGrads,
                 Lane::comm_of(dev),
                 cost.device.transfer_time(store_bytes),
                 store_bytes,
+                group_rows,
+                Some(i as u32),
                 &[bwd],
             );
             last_store[dev] = Some(store);
@@ -430,6 +449,7 @@ impl ShardedEngine {
                     cost,
                     devices,
                     group.len(),
+                    Some(i as u32),
                     &last_store,
                     &mut last_allreduce,
                     sched,
@@ -440,12 +460,15 @@ impl ShardedEngine {
                     .iter()
                     .enumerate()
                 {
-                    timeline.push(
+                    timeline.push_traced(
                         OpKind::CpuAdamUpdate,
                         Lane::adam_of(dev2),
                         cost.device.cpu_adam_time(
                             cost.scaled_gaussians(*count) * PARAMS_PER_GAUSSIAN as u64,
                         ),
+                        0,
+                        *count as u64,
+                        Some(i as u32),
                         &[adam_dep],
                     );
                 }
@@ -471,16 +494,20 @@ impl ShardedEngine {
                 cost,
                 devices,
                 self.trainer.model().len(),
+                None,
                 &last_store,
                 &mut last_allreduce,
                 sched,
             );
             for (dev, count) in self.partition.device_counts().iter().enumerate() {
-                timeline.push(
+                timeline.push_traced(
                     OpKind::CpuAdamUpdate,
                     Lane::adam_of(dev),
                     cost.device
                         .cpu_adam_time(cost.scaled_gaussians(*count) * PARAMS_PER_GAUSSIAN as u64),
+                    0,
+                    *count as u64,
+                    None,
                     &[adam_dep],
                 );
             }
@@ -534,11 +561,13 @@ impl ShardedEngine {
         let duration = cost.device.transfer_time(local_bytes)
             + PEER_HOP_FACTOR * cost.device.transfer_time(remote_bytes);
         let bytes = cost.scaled_bytes(plan.fetch_bytes(i));
-        let id = timeline.push_with_bytes(
+        let id = timeline.push_traced(
             OpKind::LoadParams,
             Lane::comm_of(dev),
             duration,
             bytes,
+            indices.len() as u64,
+            Some(i as u32),
             &deps,
         );
 
@@ -553,11 +582,13 @@ impl ShardedEngine {
 /// wait for.  With one device there is nothing to exchange — the dependency
 /// is the device's latest gradient store, exactly as in the single-device
 /// engine.
+#[allow(clippy::too_many_arguments)]
 fn push_allreduce(
     timeline: &mut Timeline,
     cost: &CostModel,
     devices: usize,
     group_len: usize,
+    microbatch: Option<u32>,
     last_store: &[Option<OpId>],
     last_allreduce: &mut Option<OpId>,
     sched: OpId,
@@ -584,11 +615,13 @@ fn push_allreduce(
         if let Some(t) = tail {
             deps.push(t);
         }
-        tail = Some(timeline.push_with_bytes(
+        tail = Some(timeline.push_traced(
             OpKind::AllReduce,
             Lane::comm_of(dev),
             cost.device.transfer_time(per_device),
             per_device,
+            group_len as u64,
+            microbatch,
             &deps,
         ));
     }

@@ -38,7 +38,7 @@
 use crate::backend::{ExecutionBackend, ExecutionReport, LaneBusy};
 use crate::pool::{PinnedBufferPool, PoolStats, StagingBuffer};
 use crate::prefetch::{PrefetchPolicy, PrefetchWindow, WindowSelector};
-use crate::workers::{spawn_lane, BusyTimer};
+use crate::workers::{spawn_lane, BusyTimer, SpanLog};
 use clm_core::{gather_rows_into, SystemKind, TrainConfig, Trainer};
 use gs_core::camera::Camera;
 use gs_core::gaussian::GaussianModel;
@@ -46,6 +46,7 @@ use gs_optim::{compute_packed_chunked, AdamWorkItem};
 use gs_render::parallel::parallel_map;
 use gs_render::Image;
 use gs_scene::Dataset;
+use sim_device::{Lane, OpKind, Timeline};
 use std::time::Instant;
 
 /// Configuration of the threaded backend.
@@ -173,6 +174,35 @@ impl ThreadedBackend {
     /// # Panics
     /// Panics if `cameras` and `targets` differ in length or are empty.
     pub fn run_batch(&mut self, cameras: &[Camera], targets: &[Image]) -> ExecutionReport {
+        self.run_batch_inner(cameras, targets, None)
+    }
+
+    /// [`run_batch`](Self::run_batch) with measured span capture: every
+    /// timed interval — on the worker threads and the coordinator alike —
+    /// is additionally recorded against its lane and laid out on the
+    /// returned measurement [`Timeline`], so the threaded backend's real
+    /// overlap feeds the same trace pipeline the simulated backends do.
+    /// Lane busy accounting in the report is untouched (it still comes
+    /// from the [`BusyTimer`]s).
+    ///
+    /// # Panics
+    /// Panics if `cameras` and `targets` differ in length or are empty.
+    pub fn run_batch_traced(
+        &mut self,
+        cameras: &[Camera],
+        targets: &[Image],
+    ) -> (ExecutionReport, Timeline) {
+        let log = SpanLog::new();
+        let report = self.run_batch_inner(cameras, targets, Some(&log));
+        (report, log.into_timeline())
+    }
+
+    fn run_batch_inner(
+        &mut self,
+        cameras: &[Camera],
+        targets: &[Image],
+        spans: Option<&SpanLog>,
+    ) -> ExecutionReport {
         assert_eq!(
             cameras.len(),
             targets.len(),
@@ -185,11 +215,25 @@ impl ThreadedBackend {
         // batch (std::thread::scope below), so between batches nothing is in
         // flight and the model may resize; the lanes then spawn against the
         // post-resize store.  Boundary work is scheduler-lane time.
+        let sched_start = spans.map(SpanLog::now);
         let plan = self.trainer.resize_and_plan(cameras);
         if plan.resize.is_some() {
             self.pool.reprovision(crate::engine::max_fetch_rows(&plan));
         }
         let scheduling_seconds = wall_start.elapsed().as_secs_f64();
+        if let (Some(log), Some(s)) = (spans, sched_start) {
+            // One span for the whole boundary: resize (when due) and
+            // planning both run on the host scheduler here.
+            log.record(
+                OpKind::Scheduling,
+                Lane::CpuScheduler,
+                s,
+                log.now(),
+                0,
+                self.trainer.model().len() as u64,
+                None,
+            );
+        }
 
         let m = plan.num_microbatches();
         let devices = self.config.num_devices;
@@ -235,11 +279,23 @@ impl ThreadedBackend {
                     move |req_rx, resp_tx| {
                         let stage = |i: usize, pool: &mut PinnedBufferPool| {
                             let indices = plan_ref.fetched[i].indices();
+                            let span_start = spans.map(SpanLog::now);
                             let buf = timer.time(|| {
                                 let mut buf = pool.acquire(indices.len());
                                 gather_rows_into(rows, indices, &mut buf);
                                 buf
                             });
+                            if let (Some(log), Some(s)) = (spans, span_start) {
+                                log.record(
+                                    OpKind::LoadParams,
+                                    Lane::GpuComm,
+                                    s,
+                                    log.now(),
+                                    plan_ref.fetch_bytes(i),
+                                    indices.len() as u64,
+                                    Some(i as u32),
+                                );
+                            }
                             // Blocking send = backpressure once the buffer
                             // budget is staged but unconsumed.
                             resp_tx.send((i, buf)).is_ok()
@@ -276,9 +332,21 @@ impl ThreadedBackend {
                     capacity,
                     move |req_rx, resp_tx| {
                         while let Ok(mut items) = req_rx.recv() {
+                            let span_start = spans.map(SpanLog::now);
                             timer.time(|| {
                                 compute_packed_chunked(&adam_config, &mut items, adam_threads)
                             });
+                            if let (Some(log), Some(s)) = (spans, span_start) {
+                                log.record(
+                                    OpKind::CpuAdamUpdate,
+                                    Lane::CpuAdam,
+                                    s,
+                                    log.now(),
+                                    0,
+                                    items.len() as u64,
+                                    None,
+                                );
+                            }
                             if resp_tx.send(items).is_err() {
                                 return;
                             }
@@ -332,6 +400,7 @@ impl ThreadedBackend {
                 // "device".  Renders are pure (they read only their own
                 // micro-batch's visibility set), so parallelism here cannot
                 // change what is computed.
+                let span_start = spans.map(SpanLog::now);
                 let t = Instant::now();
                 let results: Vec<(f32, gs_render::RenderGradients)> = if round > 1 {
                     parallel_map(round, round, |r| {
@@ -341,15 +410,43 @@ impl ThreadedBackend {
                     vec![trainer.render_microbatch(plan_ref, i, cameras, targets, &staged[0])]
                 };
                 compute_seconds += t.elapsed().as_secs_f64();
+                if let (Some(log), Some(s)) = (spans, span_start) {
+                    // One span per round: with D > 1 the round's renders run
+                    // concurrently and share the measured interval.
+                    let rows: u64 = (0..round)
+                        .map(|r| plan_ref.ordered_sets[i + r].len() as u64)
+                        .sum();
+                    log.record(
+                        OpKind::Forward,
+                        Lane::GpuCompute,
+                        s,
+                        log.now(),
+                        0,
+                        rows,
+                        Some(i as u32),
+                    );
+                }
 
                 // Fixed-order reduction: losses, gradient accumulations and
                 // Adam hand-offs replay in the serial micro-batch order, so
                 // every floating-point reduction matches the 1-device path.
                 for (r, (loss, render_grads)) in results.iter().enumerate() {
                     total_loss += loss;
+                    let span_start = spans.map(SpanLog::now);
                     let t = Instant::now();
                     grads.accumulate_render(render_grads);
                     compute_seconds += t.elapsed().as_secs_f64();
+                    if let (Some(log), Some(s)) = (spans, span_start) {
+                        log.record(
+                            OpKind::Backward,
+                            Lane::GpuCompute,
+                            s,
+                            log.now(),
+                            0,
+                            plan_ref.ordered_sets[i + r].len() as u64,
+                            Some((i + r) as u32),
+                        );
+                    }
 
                     if let Some(adam) = &adam {
                         // Drain finished groups first so the lane's bounded
@@ -393,7 +490,21 @@ impl ThreadedBackend {
         // anyway) and the traffic accounting for the worker-side copies.
         // The write-back is the Adam lane's tail, so it is charged there.
         for items in &adam_groups {
+            let span_start = spans.map(SpanLog::now);
             adam_timer.time(|| self.trainer.apply_adam_results(items));
+            if let (Some(log), Some(s)) = (spans, span_start) {
+                // Deferred write-back is the Adam lane's tail; `Other`
+                // keeps it out of the update-math histograms.
+                log.record(
+                    OpKind::Other,
+                    Lane::CpuAdam,
+                    s,
+                    log.now(),
+                    0,
+                    items.len() as u64,
+                    None,
+                );
+            }
         }
         if is_clm {
             let staged_rows: usize = plan.fetched.iter().map(|s| s.len()).sum();

@@ -22,8 +22,10 @@
 //! straight into recycled staging buffers with no intermediate clone and no
 //! `Arc` plumbing.
 
+use sim_device::{Lane, OpKind, Timeline};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
 use std::thread::Scope;
 use std::time::Instant;
 
@@ -61,6 +63,136 @@ impl BusyTimer {
     /// Number of timed tasks so far.
     pub fn tasks(&self) -> u64 {
         self.tasks.load(Ordering::Relaxed)
+    }
+}
+
+/// One measured span recorded by a [`SpanLog`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordedSpan {
+    /// Work classification of the span.
+    pub kind: OpKind,
+    /// Lane the work is attributed to.
+    pub lane: Lane,
+    /// Start seconds relative to the log's origin.
+    pub start: f64,
+    /// End seconds relative to the log's origin.
+    pub end: f64,
+    /// Bytes moved (zero for pure compute).
+    pub bytes: u64,
+    /// Gaussian rows touched.
+    pub rows: u64,
+    /// Micro-batch the span belongs to, if any.
+    pub microbatch: Option<u32>,
+}
+
+/// Measured-span capture for the threaded backend: like [`BusyTimer`] it
+/// is shared by reference between worker threads and the coordinator, but
+/// it keeps each timed interval (with its lane, op kind and annotations)
+/// instead of only the busy sum, so a batch's real thread execution can be
+/// laid out on a [`Timeline`] and fed to the trace pipeline.  A mutex is
+/// fine here: the threaded backend records tens of spans per batch, each
+/// bracketing milliseconds of work.
+#[derive(Debug)]
+pub struct SpanLog {
+    origin: Instant,
+    spans: Mutex<Vec<RecordedSpan>>,
+}
+
+impl SpanLog {
+    /// Creates a log whose span clock starts now.
+    pub fn new() -> Self {
+        SpanLog {
+            origin: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Seconds since the log's origin.
+    pub fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Runs `f`, recording its wall-clock interval as a span.
+    pub fn time<T>(
+        &self,
+        kind: OpKind,
+        lane: Lane,
+        bytes: u64,
+        rows: u64,
+        microbatch: Option<u32>,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let start = self.now();
+        let out = f();
+        self.record(kind, lane, start, self.now(), bytes, rows, microbatch);
+        out
+    }
+
+    /// Records an already-measured interval.
+    pub fn record(
+        &self,
+        kind: OpKind,
+        lane: Lane,
+        start: f64,
+        end: f64,
+        bytes: u64,
+        rows: u64,
+        microbatch: Option<u32>,
+    ) {
+        self.spans
+            .lock()
+            .expect("span log poisoned")
+            .push(RecordedSpan {
+                kind,
+                lane,
+                start,
+                end,
+                bytes,
+                rows,
+                microbatch,
+            });
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("span log poisoned").len()
+    }
+
+    /// Whether no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lays the recorded spans out on a measurement [`Timeline`], sorted by
+    /// start time (concurrent workers interleave their records in lock
+    /// order, not time order).
+    pub fn into_timeline(self) -> Timeline {
+        let mut spans = self.spans.into_inner().expect("span log poisoned");
+        spans.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .expect("span clocks are finite")
+                .then(a.end.partial_cmp(&b.end).expect("span clocks are finite"))
+        });
+        let mut timeline = Timeline::new();
+        for s in spans {
+            timeline.push_span(
+                s.kind,
+                s.lane,
+                s.start,
+                s.end,
+                s.bytes,
+                s.rows,
+                s.microbatch,
+            );
+        }
+        timeline
+    }
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -175,6 +307,38 @@ mod tests {
         });
         assert_eq!(timer.tasks(), 32);
         assert!(timer.busy_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn span_log_collects_across_threads_and_sorts_by_start() {
+        let log = SpanLog::new();
+        std::thread::scope(|scope| {
+            let l = &log;
+            scope.spawn(move || {
+                l.time(OpKind::LoadParams, Lane::GpuComm, 128, 4, Some(0), || {
+                    std::hint::black_box((0..1000).sum::<u64>())
+                });
+            });
+            scope.spawn(move || {
+                l.time(OpKind::CpuAdamUpdate, Lane::CpuAdam, 0, 8, None, || {
+                    std::hint::black_box((0..1000).sum::<u64>())
+                });
+            });
+        });
+        log.record(OpKind::Scheduling, Lane::CpuScheduler, 0.0, 0.0, 0, 2, None);
+        assert_eq!(log.len(), 3);
+        let timeline = log.into_timeline();
+        let ops = timeline.ops();
+        assert_eq!(ops.len(), 3);
+        // Sorted by measured start: the zero-origin record comes first no
+        // matter how late it was logged.
+        assert_eq!(ops[0].kind, OpKind::Scheduling);
+        for w in ops.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        let load = ops.iter().find(|o| o.kind == OpKind::LoadParams).unwrap();
+        assert_eq!((load.bytes, load.rows, load.microbatch), (128, 4, Some(0)));
+        assert!(load.deps.is_empty(), "measured spans carry no edges");
     }
 
     #[test]

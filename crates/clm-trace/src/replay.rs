@@ -1,0 +1,1195 @@
+//! Deterministic offline replay of recorded schedules.
+//!
+//! Two replay modes, both running entirely through
+//! [`sim_device::Timeline`] with **no numerics**:
+//!
+//! * **Exact replay** ([`replay_exact`] / [`verify_exact`]): every batch's
+//!   ops are re-pushed in recorded submission order with their recorded
+//!   durations, lanes and dependency edges.  The timeline's ASAP scheduler
+//!   is deterministic over f64 `max`/`+`, so the reconstructed schedule —
+//!   every start, every end, the per-lane busy totals and the critical
+//!   path — matches the recording *bit for bit*.  This is the invariant CI
+//!   exercises: a trace is a faithful, re-simulatable record, not a lossy
+//!   log.
+//! * **Knob replay** ([`replay_with_knobs`]): the CLM pipeline structure is
+//!   rebuilt from the per-micro-batch costs in the trace under altered
+//!   knobs — a different prefetch window, a different simulated device
+//!   count, or per-kind cost multipliers — mirroring the runtime engines'
+//!   op-emission order.  Replaying with the *recorded* knobs reproduces the
+//!   recorded schedule exactly; altered knobs answer "what if" questions
+//!   (how much overlap does window 0 lose? what does a 4-way shard buy?)
+//!   without re-running training.
+//!
+//! Measured wall-clock traces (the synchronous and threaded backends)
+//! carry no dependency edges — their ordering lives in the measured start
+//! times — so they support reporting but not replay; both entry points
+//! reject them with [`ReplayError::MeasuredTrace`].
+
+use crate::format::{Trace, TraceEvent};
+use sim_device::{Lane, OpId, OpKind, Timeline};
+
+/// Why a trace could not be replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The trace has no dependency edges (measured wall-clock spans).
+    MeasuredTrace,
+    /// The trace's structure does not support the requested knobs (e.g.
+    /// re-sharding a trace that was already recorded multi-device).
+    UnsupportedSource(&'static str),
+    /// Device-count replay needs the header's cost-model constants, which
+    /// this trace does not carry.
+    MissingCostModel,
+    /// A batch does not look like a CLM pipeline schedule.
+    BadStructure(&'static str),
+    /// Exact verification found a divergence.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::MeasuredTrace => write!(
+                f,
+                "trace carries measured spans without dependency edges; it can be reported but not replayed"
+            ),
+            ReplayError::UnsupportedSource(what) => write!(f, "unsupported replay source: {what}"),
+            ReplayError::MissingCostModel => {
+                write!(f, "device-count replay needs the trace's cost-model header")
+            }
+            ReplayError::BadStructure(what) => write!(f, "not a CLM pipeline trace: {what}"),
+            ReplayError::Mismatch(what) => write!(f, "replay diverged from recording: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// One batch's reconstructed schedule.
+#[derive(Debug, Clone)]
+pub struct BatchReplay {
+    /// Epoch of the recorded batch.
+    pub epoch: u64,
+    /// Batch index of the recorded batch.
+    pub batch: u64,
+    /// The reconstructed timeline.
+    pub timeline: Timeline,
+}
+
+/// Per-kind duration multipliers for what-if cost scaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindScale {
+    /// Forward/backward/GPU-Adam (compute-lane) multiplier.
+    pub compute: f64,
+    /// Load/store/all-reduce/cache-copy (communication) multiplier.
+    pub comm: f64,
+    /// CPU Adam multiplier.
+    pub adam: f64,
+    /// Scheduling/resize (host) multiplier.
+    pub scheduling: f64,
+}
+
+impl Default for KindScale {
+    fn default() -> Self {
+        KindScale {
+            compute: 1.0,
+            comm: 1.0,
+            adam: 1.0,
+            scheduling: 1.0,
+        }
+    }
+}
+
+impl KindScale {
+    /// Whether every multiplier is exactly 1 (scaling disabled).
+    pub fn is_identity(&self) -> bool {
+        *self == KindScale::default()
+    }
+
+    /// The multiplier applied to ops of `kind`.
+    pub fn for_kind(&self, kind: OpKind) -> f64 {
+        match kind {
+            OpKind::Forward | OpKind::Backward | OpKind::GpuAdamUpdate => self.compute,
+            OpKind::LoadParams | OpKind::StoreGrads | OpKind::AllReduce | OpKind::CacheCopy => {
+                self.comm
+            }
+            OpKind::CpuAdamUpdate => self.adam,
+            OpKind::Scheduling | OpKind::Resize => self.scheduling,
+            OpKind::Other => 1.0,
+        }
+    }
+
+    fn apply(&self, kind: OpKind, dur: f64) -> f64 {
+        let s = self.for_kind(kind);
+        if s == 1.0 {
+            dur // exact: never round-trip through a multiply at identity
+        } else {
+            dur * s
+        }
+    }
+}
+
+/// The replay knobs: leave everything `None`/identity to reproduce the
+/// recorded schedule exactly.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayKnobs {
+    /// Override the prefetch window (rebuilds the CLM pipeline).
+    pub window: Option<usize>,
+    /// Re-shard across this many simulated devices (rebuilds the CLM
+    /// pipeline; source must be a single-device trace with cost-model
+    /// metadata).
+    pub devices: Option<usize>,
+    /// Per-kind duration multipliers.
+    pub scale: KindScale,
+}
+
+/// Re-pushes every batch through a fresh timeline with recorded durations,
+/// lanes and dependencies — the bit-exact reconstruction.
+pub fn replay_exact(trace: &Trace) -> Result<Vec<BatchReplay>, ReplayError> {
+    if !trace.has_deps() {
+        return Err(ReplayError::MeasuredTrace);
+    }
+    let mut out = Vec::new();
+    for (epoch, batch, events) in trace.batches() {
+        let mut timeline = Timeline::new();
+        let mut ids: Vec<OpId> = Vec::with_capacity(events.len());
+        for e in events {
+            let deps: Vec<OpId> = e.deps.iter().map(|&d| ids[d as usize]).collect();
+            ids.push(timeline.push_traced(
+                e.kind,
+                e.lane,
+                e.dur,
+                e.bytes,
+                e.rows,
+                e.microbatch,
+                &deps,
+            ));
+        }
+        out.push(BatchReplay {
+            epoch,
+            batch,
+            timeline,
+        });
+    }
+    Ok(out)
+}
+
+/// Replays the trace exactly and checks, op for op, that every
+/// reconstructed start and end matches the recording bit for bit — and
+/// therefore that makespans, per-lane busy totals and the critical path do
+/// too.
+pub fn verify_exact(trace: &Trace) -> Result<Vec<BatchReplay>, ReplayError> {
+    let replays = replay_exact(trace)?;
+    let batches = trace.batches();
+    for (replay, (_, _, events)) in replays.iter().zip(&batches) {
+        let ops = replay.timeline.ops();
+        if ops.len() != events.len() {
+            return Err(ReplayError::Mismatch(format!(
+                "batch {}: {} replayed ops vs {} recorded",
+                replay.batch,
+                ops.len(),
+                events.len()
+            )));
+        }
+        for (op, e) in ops.iter().zip(events.iter()) {
+            if op.start.to_bits() != e.start.to_bits() || op.end.to_bits() != e.end().to_bits() {
+                return Err(ReplayError::Mismatch(format!(
+                    "batch {} op {} ({:?} on {:?}): replayed [{}, {}] vs recorded [{}, {}]",
+                    replay.batch,
+                    op.id.index(),
+                    op.kind,
+                    op.lane,
+                    op.start,
+                    op.end,
+                    e.start,
+                    e.end(),
+                )));
+            }
+        }
+    }
+    Ok(replays)
+}
+
+/// Replays under altered knobs.  With no window/device override this is a
+/// structural replay (recorded dependency graph, scaled durations); with
+/// one, the CLM pipeline is rebuilt from per-micro-batch costs mirroring
+/// the engines' emission order.
+pub fn replay_with_knobs(
+    trace: &Trace,
+    knobs: &ReplayKnobs,
+) -> Result<Vec<BatchReplay>, ReplayError> {
+    if knobs.window.is_none() && knobs.devices.is_none() {
+        return replay_scaled(trace, &knobs.scale);
+    }
+    if trace.meta.devices > 1 {
+        return Err(ReplayError::UnsupportedSource(
+            "window/device replay requires a single-device recording",
+        ));
+    }
+    let devices = knobs.devices.unwrap_or(1).max(1);
+    if devices > 1 && !trace.meta.cost.usable() {
+        return Err(ReplayError::MissingCostModel);
+    }
+    if !trace.has_deps() {
+        return Err(ReplayError::MeasuredTrace);
+    }
+    let window = knobs.window.unwrap_or(trace.meta.prefetch_window as usize);
+    let mut out = Vec::new();
+    for (epoch, batch, events) in trace.batches() {
+        let parsed = ClmBatch::parse(events)?;
+        let timeline = if devices == 1 {
+            parsed.rebuild_single(window, &knobs.scale)
+        } else {
+            parsed.rebuild_sharded(window, devices, trace, &knobs.scale)
+        };
+        out.push(BatchReplay {
+            epoch,
+            batch,
+            timeline,
+        });
+    }
+    Ok(out)
+}
+
+/// Structural replay: recorded graph, per-kind scaled durations.
+fn replay_scaled(trace: &Trace, scale: &KindScale) -> Result<Vec<BatchReplay>, ReplayError> {
+    if !trace.has_deps() {
+        return Err(ReplayError::MeasuredTrace);
+    }
+    let mut out = Vec::new();
+    for (epoch, batch, events) in trace.batches() {
+        let mut timeline = Timeline::new();
+        let mut ids: Vec<OpId> = Vec::with_capacity(events.len());
+        for e in events {
+            let deps: Vec<OpId> = e.deps.iter().map(|&d| ids[d as usize]).collect();
+            ids.push(timeline.push_traced(
+                e.kind,
+                e.lane,
+                scale.apply(e.kind, e.dur),
+                e.bytes,
+                e.rows,
+                e.microbatch,
+                &deps,
+            ));
+        }
+        out.push(BatchReplay {
+            epoch,
+            batch,
+            timeline,
+        });
+    }
+    Ok(out)
+}
+
+/// Recorded cost of one op (duration plus its accounting annotations).
+#[derive(Debug, Clone, Copy, Default)]
+struct OpCost {
+    dur: f64,
+    bytes: u64,
+    rows: u64,
+}
+
+impl OpCost {
+    fn of(e: &TraceEvent) -> OpCost {
+        OpCost {
+            dur: e.dur,
+            bytes: e.bytes,
+            rows: e.rows,
+        }
+    }
+}
+
+/// One micro-batch's recorded costs.
+#[derive(Debug, Clone, Copy, Default)]
+struct MbCost {
+    gather: OpCost,
+    forward: OpCost,
+    backward: OpCost,
+    store: OpCost,
+    /// Early-finalised CPU Adam (overlapped CLM only).
+    adam: Option<OpCost>,
+}
+
+/// A recorded single-device CLM batch decomposed into the costs the
+/// rebuild re-schedules.
+#[derive(Debug, Clone)]
+struct ClmBatch {
+    resize: Option<OpCost>,
+    sched: OpCost,
+    /// F0 Adam over the batch-untouched set (overlapped CLM only).
+    f0_adam: Option<OpCost>,
+    mbs: Vec<MbCost>,
+    /// Batch-end dense Adam (non-overlapped CLM only).
+    dense_adam: Option<OpCost>,
+}
+
+impl ClmBatch {
+    fn parse(events: &[TraceEvent]) -> Result<ClmBatch, ReplayError> {
+        for e in events {
+            if matches!(e.kind, OpKind::AllReduce | OpKind::GpuAdamUpdate) {
+                return Err(ReplayError::BadStructure(
+                    "contains all-reduce/GPU-Adam ops (not a single-device CLM batch)",
+                ));
+            }
+        }
+        let m = events
+            .iter()
+            .filter_map(|e| e.microbatch)
+            .max()
+            .map(|mb| mb as usize + 1)
+            .ok_or(ReplayError::BadStructure("no per-micro-batch ops"))?;
+        let overlapped = events
+            .iter()
+            .any(|e| e.kind == OpKind::CpuAdamUpdate && e.microbatch.is_some());
+
+        let mut parsed = ClmBatch {
+            resize: None,
+            sched: OpCost::default(),
+            f0_adam: None,
+            mbs: vec![MbCost::default(); m],
+            dense_adam: None,
+        };
+        let mut seen_sched = false;
+        let mut seen = vec![[false; 5]; m];
+        for e in events {
+            match (e.kind, e.microbatch) {
+                (OpKind::Resize, None) => parsed.resize = Some(OpCost::of(e)),
+                (OpKind::Scheduling, None) => {
+                    parsed.sched = OpCost::of(e);
+                    seen_sched = true;
+                }
+                (OpKind::CpuAdamUpdate, None) => {
+                    // Overlapped batches front-load F0; non-overlapped ones
+                    // end with the dense pass.
+                    if overlapped {
+                        parsed.f0_adam = Some(OpCost::of(e));
+                    } else {
+                        parsed.dense_adam = Some(OpCost::of(e));
+                    }
+                }
+                (kind, Some(mb)) => {
+                    let mb = mb as usize;
+                    let slot = &mut parsed.mbs[mb];
+                    let (field, idx): (&mut OpCost, usize) = match kind {
+                        OpKind::LoadParams => (&mut slot.gather, 0),
+                        OpKind::Forward => (&mut slot.forward, 1),
+                        OpKind::Backward => (&mut slot.backward, 2),
+                        OpKind::StoreGrads => (&mut slot.store, 3),
+                        OpKind::CpuAdamUpdate => {
+                            slot.adam = Some(OpCost::of(e));
+                            seen[mb][4] = true;
+                            continue;
+                        }
+                        _ => {
+                            return Err(ReplayError::BadStructure(
+                                "unexpected per-micro-batch op kind",
+                            ))
+                        }
+                    };
+                    if seen[mb][idx] {
+                        return Err(ReplayError::BadStructure("duplicate per-micro-batch op"));
+                    }
+                    *field = OpCost::of(e);
+                    seen[mb][idx] = true;
+                }
+                _ => {
+                    return Err(ReplayError::BadStructure("unexpected batch-level op kind"));
+                }
+            }
+        }
+        if !seen_sched {
+            return Err(ReplayError::BadStructure("no scheduling op"));
+        }
+        for (mb, flags) in seen.iter().enumerate() {
+            if !flags[..4].iter().all(|&s| s) || (overlapped && !flags[4]) {
+                let _ = mb;
+                return Err(ReplayError::BadStructure(
+                    "micro-batch missing gather/forward/backward/store ops",
+                ));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Mirrors `PipelinedEngine::run_clm_batch`'s emission order with the
+    /// recorded costs under prefetch window `w`.
+    fn rebuild_single(&self, w: usize, scale: &KindScale) -> Timeline {
+        let m = self.mbs.len();
+        let win = Window { w, m };
+        let mut t = Timeline::new();
+
+        let mut sched_deps = Vec::new();
+        if let Some(r) = &self.resize {
+            sched_deps.push(push_cost(
+                &mut t,
+                OpKind::Resize,
+                Lane::CpuScheduler,
+                r,
+                None,
+                &[],
+                scale,
+            ));
+        }
+        let sched = push_cost(
+            &mut t,
+            OpKind::Scheduling,
+            Lane::CpuScheduler,
+            &self.sched,
+            None,
+            &sched_deps,
+            scale,
+        );
+        if let Some(f0) = &self.f0_adam {
+            push_cost(
+                &mut t,
+                OpKind::CpuAdamUpdate,
+                Lane::CpuAdam,
+                f0,
+                None,
+                &[sched],
+                scale,
+            );
+        }
+
+        let mut gathers: Vec<Option<OpId>> = vec![None; m];
+        let mut backwards: Vec<Option<OpId>> = vec![None; m];
+        for i in win.initial() {
+            gathers[i] = Some(self.push_gather(&mut t, i, &win, &backwards, sched, scale));
+        }
+        let mut last_store = sched;
+        for i in 0..m {
+            let fwd = push_cost(
+                &mut t,
+                OpKind::Forward,
+                Lane::GpuCompute,
+                &self.mbs[i].forward,
+                Some(i as u32),
+                &[gathers[i].expect("gather issued before compute")],
+                scale,
+            );
+            let bwd = push_cost(
+                &mut t,
+                OpKind::Backward,
+                Lane::GpuCompute,
+                &self.mbs[i].backward,
+                Some(i as u32),
+                &[fwd],
+                scale,
+            );
+            backwards[i] = Some(bwd);
+            let store = push_cost(
+                &mut t,
+                OpKind::StoreGrads,
+                Lane::GpuComm,
+                &self.mbs[i].store,
+                Some(i as u32),
+                &[bwd],
+                scale,
+            );
+            last_store = store;
+            if let Some(adam) = &self.mbs[i].adam {
+                push_cost(
+                    &mut t,
+                    OpKind::CpuAdamUpdate,
+                    Lane::CpuAdam,
+                    adam,
+                    Some(i as u32),
+                    &[store],
+                    scale,
+                );
+            }
+            for j in win.after(i) {
+                gathers[j] = Some(self.push_gather(&mut t, j, &win, &backwards, sched, scale));
+            }
+        }
+        if let Some(dense) = &self.dense_adam {
+            push_cost(
+                &mut t,
+                OpKind::CpuAdamUpdate,
+                Lane::CpuAdam,
+                dense,
+                None,
+                &[last_store],
+                scale,
+            );
+        }
+        t
+    }
+
+    fn push_gather(
+        &self,
+        t: &mut Timeline,
+        i: usize,
+        win: &Window,
+        backwards: &[Option<OpId>],
+        sched: OpId,
+        scale: &KindScale,
+    ) -> OpId {
+        let mut deps = vec![sched];
+        if let Some(k) = win.compute_dep(i) {
+            deps.push(backwards[k].expect("window dependencies point at completed compute"));
+        }
+        push_cost(
+            t,
+            OpKind::LoadParams,
+            Lane::GpuComm,
+            &self.mbs[i].gather,
+            Some(i as u32),
+            &deps,
+            scale,
+        )
+    }
+
+    /// Mirrors `ShardedEngine::run_clm_sharded`'s emission order across
+    /// `devices` simulated lane groups.  Re-sharding a single-device
+    /// recording has no ownership partition to consult, so the rebuild
+    /// approximates uniform sharding: `1/D` of every fetch is local, Adam
+    /// groups split evenly across owners — the cost-model constants from
+    /// the trace header price the peer hops and all-reduce chains.
+    fn rebuild_sharded(
+        &self,
+        w: usize,
+        devices: usize,
+        trace: &Trace,
+        scale: &KindScale,
+    ) -> Timeline {
+        let cost = &trace.meta.cost;
+        let m = self.mbs.len();
+        let local_len = |d: usize| (m + devices - 1 - d) / devices;
+        let wins: Vec<Window> = (0..devices)
+            .map(|d| Window { w, m: local_len(d) })
+            .collect();
+        let mut t = Timeline::new();
+
+        let mut sched_deps = Vec::new();
+        if let Some(r) = &self.resize {
+            sched_deps.push(push_cost(
+                &mut t,
+                OpKind::Resize,
+                Lane::CpuScheduler,
+                r,
+                None,
+                &[],
+                scale,
+            ));
+        }
+        let sched = push_cost(
+            &mut t,
+            OpKind::Scheduling,
+            Lane::CpuScheduler,
+            &self.sched,
+            None,
+            &sched_deps,
+            scale,
+        );
+        if let Some(f0) = &self.f0_adam {
+            for (dev, rows) in split_rows(f0.rows, devices).into_iter().enumerate() {
+                let dur = prorate(f0.dur, rows, f0.rows);
+                t.push_traced(
+                    OpKind::CpuAdamUpdate,
+                    Lane::adam_of(dev),
+                    scale.apply(OpKind::CpuAdamUpdate, dur),
+                    0,
+                    rows,
+                    None,
+                    &[sched],
+                );
+            }
+        }
+
+        let mut gathers: Vec<Option<OpId>> = vec![None; m];
+        let mut backwards: Vec<Option<OpId>> = vec![None; m];
+        let mut last_store: Vec<Option<OpId>> = vec![None; devices];
+        let mut last_allreduce: Option<OpId> = None;
+
+        let sharded_gather = |t: &mut Timeline, backwards: &[Option<OpId>], i: usize| -> OpId {
+            let dev = i % devices;
+            let k = i / devices;
+            let mut deps = vec![sched];
+            if let Some(k_dep) = wins[dev].compute_dep(k) {
+                deps.push(
+                    backwards[k_dep * devices + dev]
+                        .expect("window dependencies point at completed compute"),
+                );
+            }
+            // Uniform-ownership approximation: 1/D of the fetch is local.
+            let g = &self.mbs[i].gather;
+            let local_bytes = g.bytes / devices as u64;
+            let remote_bytes = g.bytes - local_bytes;
+            let dur = cost.transfer_time(local_bytes)
+                + cost.peer_hop_factor * cost.transfer_time(remote_bytes);
+            t.push_traced(
+                OpKind::LoadParams,
+                Lane::comm_of(dev),
+                scale.apply(OpKind::LoadParams, dur),
+                g.bytes,
+                g.rows,
+                Some(i as u32),
+                &deps,
+            )
+        };
+
+        for dev in 0..devices {
+            for k in wins[dev].initial() {
+                let i = k * devices + dev;
+                gathers[i] = Some(sharded_gather(&mut t, &backwards, i));
+            }
+        }
+        for i in 0..m {
+            let dev = i % devices;
+            let k = i / devices;
+            let fwd = push_cost(
+                &mut t,
+                OpKind::Forward,
+                Lane::compute_of(dev),
+                &self.mbs[i].forward,
+                Some(i as u32),
+                &[gathers[i].expect("gather issued before compute")],
+                scale,
+            );
+            let bwd = push_cost(
+                &mut t,
+                OpKind::Backward,
+                Lane::compute_of(dev),
+                &self.mbs[i].backward,
+                Some(i as u32),
+                &[fwd],
+                scale,
+            );
+            backwards[i] = Some(bwd);
+            let store = push_cost(
+                &mut t,
+                OpKind::StoreGrads,
+                Lane::comm_of(dev),
+                &self.mbs[i].store,
+                Some(i as u32),
+                &[bwd],
+                scale,
+            );
+            last_store[dev] = Some(store);
+
+            if let Some(adam) = &self.mbs[i].adam {
+                let adam_dep = push_allreduce(
+                    &mut t,
+                    cost,
+                    devices,
+                    adam.rows,
+                    Some(i as u32),
+                    &last_store,
+                    &mut last_allreduce,
+                    sched,
+                    scale,
+                );
+                for (dev2, rows) in split_rows(adam.rows, devices).into_iter().enumerate() {
+                    let dur = prorate(adam.dur, rows, adam.rows);
+                    t.push_traced(
+                        OpKind::CpuAdamUpdate,
+                        Lane::adam_of(dev2),
+                        scale.apply(OpKind::CpuAdamUpdate, dur),
+                        0,
+                        rows,
+                        Some(i as u32),
+                        &[adam_dep],
+                    );
+                }
+            }
+            for k2 in wins[dev].after(k) {
+                let j = k2 * devices + dev;
+                gathers[j] = Some(sharded_gather(&mut t, &backwards, j));
+            }
+        }
+        if let Some(dense) = &self.dense_adam {
+            let adam_dep = push_allreduce(
+                &mut t,
+                cost,
+                devices,
+                dense.rows,
+                None,
+                &last_store,
+                &mut last_allreduce,
+                sched,
+                scale,
+            );
+            for (dev, rows) in split_rows(dense.rows, devices).into_iter().enumerate() {
+                let dur = prorate(dense.dur, rows, dense.rows);
+                t.push_traced(
+                    OpKind::CpuAdamUpdate,
+                    Lane::adam_of(dev),
+                    scale.apply(OpKind::CpuAdamUpdate, dur),
+                    0,
+                    rows,
+                    None,
+                    &[adam_dep],
+                );
+            }
+        }
+        t
+    }
+}
+
+/// Mirrors the sharded engine's fixed-device-order all-reduce chain,
+/// priced by the trace header's cost model.
+#[allow(clippy::too_many_arguments)]
+fn push_allreduce(
+    t: &mut Timeline,
+    cost: &crate::format::CostParams,
+    devices: usize,
+    group_rows: u64,
+    microbatch: Option<u32>,
+    last_store: &[Option<OpId>],
+    last_allreduce: &mut Option<OpId>,
+    sched: OpId,
+    scale: &KindScale,
+) -> OpId {
+    if devices == 1 {
+        return last_store[0].unwrap_or(sched);
+    }
+    let total_bytes =
+        (group_rows as f64 * cost.gradient_bytes as f64 * cost.cost_scale).round() as u64;
+    let per_device = (total_bytes as f64 * (devices - 1) as f64 / devices as f64).round() as u64;
+    let mut base_deps: Vec<OpId> = last_store.iter().flatten().copied().collect();
+    if base_deps.is_empty() {
+        base_deps.push(sched);
+    }
+    if let Some(prev) = *last_allreduce {
+        base_deps.push(prev);
+    }
+    let mut tail: Option<OpId> = None;
+    for dev in 0..devices {
+        let mut deps = base_deps.clone();
+        if let Some(prev) = tail {
+            deps.push(prev);
+        }
+        tail = Some(t.push_traced(
+            OpKind::AllReduce,
+            Lane::comm_of(dev),
+            scale.apply(OpKind::AllReduce, cost.transfer_time(per_device)),
+            per_device,
+            group_rows,
+            microbatch,
+            &deps,
+        ));
+    }
+    *last_allreduce = tail;
+    tail.expect("devices >= 2 pushed at least one op")
+}
+
+fn push_cost(
+    t: &mut Timeline,
+    kind: OpKind,
+    lane: Lane,
+    cost: &OpCost,
+    microbatch: Option<u32>,
+    deps: &[OpId],
+    scale: &KindScale,
+) -> OpId {
+    t.push_traced(
+        kind,
+        lane,
+        scale.apply(kind, cost.dur),
+        cost.bytes,
+        cost.rows,
+        microbatch,
+        deps,
+    )
+}
+
+/// `rows` split as evenly as possible across `devices` (remainder on the
+/// lowest device indices) — the rebuild's stand-in for the footprint
+/// partition's `split_counts`.
+fn split_rows(rows: u64, devices: usize) -> Vec<u64> {
+    let d = devices as u64;
+    (0..d).map(|i| rows / d + u64::from(i < rows % d)).collect()
+}
+
+/// `dur * part / whole` (0 when the whole is empty).
+fn prorate(dur: f64, part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        dur * part as f64 / whole as f64
+    }
+}
+
+/// The prefetch-window arithmetic of `clm_runtime::PrefetchWindow`,
+/// restated minimally so the trace crate does not depend on the runtime.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    w: usize,
+    m: usize,
+}
+
+impl Window {
+    /// Initial frontier: micro-batches gathered before any compute.
+    fn initial(&self) -> std::ops::Range<usize> {
+        0..(self.w + 1).min(self.m)
+    }
+
+    /// Slots freed by the completion of micro-batch `k`.
+    fn after(&self, k: usize) -> std::ops::Range<usize> {
+        (k + self.w + 1).min(self.m)..(k + self.w + 2).min(self.m)
+    }
+
+    /// The compute op gather `i` must wait for (none inside the frontier).
+    fn compute_dep(&self, i: usize) -> Option<usize> {
+        i.checked_sub(self.w + 1)
+    }
+}
+
+/// The critical path of a schedule: the dependency-or-lane-contiguous
+/// chain of ops ending at the makespan, walked backwards through exact
+/// end-time equalities (exact f64 comparisons are sound here — every
+/// start is a `max` over candidate end times, so the binding predecessor's
+/// end *equals* the start bit for bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// End-to-end length in seconds (the makespan).
+    pub length_s: f64,
+    /// Ops on the path.
+    pub ops: usize,
+    /// Seconds on the path attributed to each op kind (kind-code order,
+    /// zero-kind entries omitted).
+    pub time_by_kind: Vec<(OpKind, f64)>,
+}
+
+/// Walks the critical path of a reconstructed timeline.  Ties (several
+/// predecessors ending exactly at a start) break towards the earliest
+/// submitted op, so the walk is deterministic.
+pub fn critical_path(timeline: &Timeline) -> CriticalPath {
+    let ops = timeline.ops();
+    let mut by_kind = [0.0f64; OpKind::ALL.len()];
+    let mut count = 0usize;
+    let mut cur = ops
+        .iter()
+        .enumerate()
+        .max_by(|(ai, a), (bi, b)| {
+            a.end
+                .partial_cmp(&b.end)
+                .unwrap()
+                // On equal ends prefer the *earlier* op deterministically.
+                .then(bi.cmp(ai))
+        })
+        .map(|(i, _)| i);
+    while let Some(i) = cur {
+        let op = &ops[i];
+        by_kind[op.kind.code() as usize] += op.dur;
+        count += 1;
+        if op.start == 0.0 {
+            break;
+        }
+        // Candidate predecessors: the op's explicit dependencies, plus the
+        // previous op on the same lane (the lane-serialisation edge).
+        let mut next: Option<usize> = None;
+        let mut consider = |j: usize| {
+            if ops[j].end.to_bits() == op.start.to_bits() && next.is_none_or(|n| j < n) {
+                next = Some(j);
+            }
+        };
+        for d in &op.deps {
+            consider(d.index());
+        }
+        if let Some(prev_on_lane) = ops[..i].iter().rposition(|o| o.lane == op.lane) {
+            consider(prev_on_lane);
+        }
+        cur = next;
+        if cur.is_none() {
+            // Measured spans can start at arbitrary offsets with no equal
+            // predecessor; stop rather than loop.
+            break;
+        }
+    }
+    CriticalPath {
+        length_s: timeline.makespan(),
+        ops: count,
+        time_by_kind: OpKind::ALL
+            .iter()
+            .filter(|k| by_kind[k.code() as usize] > 0.0)
+            .map(|&k| (k, by_kind[k.code() as usize]))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{CostParams, TraceMeta, TraceWriter};
+
+    fn meta(devices: u32, window: u32) -> TraceMeta {
+        TraceMeta {
+            backend: "simulated".into(),
+            scene: "unit".into(),
+            devices,
+            prefetch_window: window,
+            seed: 0,
+            cost: CostParams {
+                pcie_latency_s: 1.0e-5,
+                pcie_bandwidth: 25.0e9,
+                cost_scale: 1.0,
+                peer_hop_factor: 2.0,
+                gradient_bytes: 96,
+            },
+        }
+    }
+
+    /// A hand-built 3-micro-batch overlapped CLM batch, window 1.
+    fn clm_timeline() -> Timeline {
+        let mut t = Timeline::new();
+        let sched = t.push_traced(
+            OpKind::Scheduling,
+            Lane::CpuScheduler,
+            1e-4,
+            0,
+            100,
+            None,
+            &[],
+        );
+        t.push_traced(
+            OpKind::CpuAdamUpdate,
+            Lane::CpuAdam,
+            2e-4,
+            0,
+            40,
+            None,
+            &[sched],
+        );
+        let mut gathers = Vec::new();
+        let mut backwards: Vec<OpId> = Vec::new();
+        let w = 1usize;
+        let m = 3usize;
+        for i in 0..(w + 1).min(m) {
+            gathers.push(t.push_traced(
+                OpKind::LoadParams,
+                Lane::GpuComm,
+                3e-4,
+                6400,
+                10,
+                Some(i as u32),
+                &[sched],
+            ));
+        }
+        for i in 0..m {
+            let fwd = t.push_traced(
+                OpKind::Forward,
+                Lane::GpuCompute,
+                4e-4,
+                0,
+                10,
+                Some(i as u32),
+                &[gathers[i]],
+            );
+            let bwd = t.push_traced(
+                OpKind::Backward,
+                Lane::GpuCompute,
+                8e-4,
+                0,
+                10,
+                Some(i as u32),
+                &[fwd],
+            );
+            backwards.push(bwd);
+            let store = t.push_traced(
+                OpKind::StoreGrads,
+                Lane::GpuComm,
+                1e-4,
+                960,
+                5,
+                Some(i as u32),
+                &[bwd],
+            );
+            t.push_traced(
+                OpKind::CpuAdamUpdate,
+                Lane::CpuAdam,
+                1.5e-4,
+                0,
+                5,
+                Some(i as u32),
+                &[store],
+            );
+            for j in (i + w + 1).min(m)..(i + w + 2).min(m) {
+                let mut deps = vec![sched];
+                if let Some(k) = j.checked_sub(w + 1) {
+                    deps.push(backwards[k]);
+                }
+                gathers.push(t.push_traced(
+                    OpKind::LoadParams,
+                    Lane::GpuComm,
+                    3e-4,
+                    6400,
+                    10,
+                    Some(j as u32),
+                    &deps,
+                ));
+            }
+        }
+        t
+    }
+
+    fn clm_trace() -> Trace {
+        let mut w = TraceWriter::new(meta(1, 1));
+        w.record_timeline(0, 0, &clm_timeline());
+        w.finish()
+    }
+
+    #[test]
+    fn exact_replay_reproduces_the_recording_bit_for_bit() {
+        let trace = clm_trace();
+        let replays = verify_exact(&trace).unwrap();
+        assert_eq!(replays.len(), 1);
+        let t = clm_timeline();
+        assert_eq!(
+            replays[0].timeline.makespan().to_bits(),
+            t.makespan().to_bits()
+        );
+        for lane in Lane::ALL {
+            assert_eq!(
+                replays[0].timeline.busy_time(lane).to_bits(),
+                t.busy_time(lane).to_bits(),
+                "{lane:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_at_recorded_window_is_exact() {
+        let trace = clm_trace();
+        let knobs = ReplayKnobs {
+            window: Some(1),
+            ..Default::default()
+        };
+        let rebuilt = replay_with_knobs(&trace, &knobs).unwrap();
+        let recorded = clm_timeline();
+        assert_eq!(rebuilt[0].timeline.ops().len(), recorded.ops().len());
+        for (a, b) in rebuilt[0].timeline.ops().iter().zip(recorded.ops()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn window_zero_removes_overlap_and_extends_the_makespan() {
+        let trace = clm_trace();
+        let w0 = replay_with_knobs(
+            &trace,
+            &ReplayKnobs {
+                window: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let recorded = clm_timeline();
+        assert!(
+            w0[0].timeline.makespan() >= recorded.makespan(),
+            "shrinking the window cannot speed the schedule up"
+        );
+    }
+
+    #[test]
+    fn device_replay_spreads_compute_across_lane_groups() {
+        let trace = clm_trace();
+        let sharded = replay_with_knobs(
+            &trace,
+            &ReplayKnobs {
+                devices: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t = &sharded[0].timeline;
+        assert!(t.busy_time(Lane::compute_of(0)) > 0.0);
+        assert!(t.busy_time(Lane::compute_of(1)) > 0.0);
+        assert!(t.time_by_kind(OpKind::AllReduce) > 0.0);
+    }
+
+    #[test]
+    fn device_replay_without_cost_model_is_refused() {
+        let mut trace = clm_trace();
+        trace.meta.cost = CostParams::default();
+        let err = replay_with_knobs(
+            &trace,
+            &ReplayKnobs {
+                devices: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ReplayError::MissingCostModel);
+    }
+
+    #[test]
+    fn scaled_replay_stretches_only_the_chosen_kind_class() {
+        let trace = clm_trace();
+        let scaled = replay_with_knobs(
+            &trace,
+            &ReplayKnobs {
+                scale: KindScale {
+                    comm: 2.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let recorded = clm_timeline();
+        let t = &scaled[0].timeline;
+        assert!(
+            (t.time_by_kind(OpKind::LoadParams) - 2.0 * recorded.time_by_kind(OpKind::LoadParams))
+                .abs()
+                < 1e-15
+        );
+        assert_eq!(
+            t.time_by_kind(OpKind::Forward).to_bits(),
+            recorded.time_by_kind(OpKind::Forward).to_bits(),
+            "identity-scaled kinds must not be perturbed"
+        );
+    }
+
+    #[test]
+    fn measured_traces_are_rejected() {
+        let mut t = Timeline::new();
+        t.push_span(OpKind::Forward, Lane::GpuCompute, 0.0, 1.0, 0, 1, Some(0));
+        let mut w = TraceWriter::new(meta(1, 0));
+        w.record_timeline(0, 0, &t);
+        let trace = w.finish();
+        assert_eq!(
+            replay_exact(&trace).unwrap_err(),
+            ReplayError::MeasuredTrace
+        );
+        assert_eq!(
+            replay_with_knobs(
+                &trace,
+                &ReplayKnobs {
+                    window: Some(2),
+                    ..Default::default()
+                }
+            )
+            .unwrap_err(),
+            ReplayError::MeasuredTrace
+        );
+    }
+
+    #[test]
+    fn critical_path_walks_the_binding_chain() {
+        let mut t = Timeline::new();
+        let load = t.push_traced(OpKind::LoadParams, Lane::GpuComm, 2.0, 0, 0, None, &[]);
+        let fwd = t.push_traced(OpKind::Forward, Lane::GpuCompute, 1.0, 0, 0, None, &[load]);
+        // A short op on an idle lane that is NOT on the path.
+        t.push_traced(OpKind::Scheduling, Lane::CpuScheduler, 0.5, 0, 0, None, &[]);
+        t.push_traced(OpKind::Backward, Lane::GpuCompute, 3.0, 0, 0, None, &[fwd]);
+        let cp = critical_path(&t);
+        assert_eq!(cp.length_s, 6.0);
+        assert_eq!(cp.ops, 3);
+        let kinds: Vec<OpKind> = cp.time_by_kind.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![OpKind::Forward, OpKind::Backward, OpKind::LoadParams]
+        );
+        let total: f64 = cp.time_by_kind.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn critical_path_of_empty_timeline_is_zero() {
+        let cp = critical_path(&Timeline::new());
+        assert_eq!(cp.length_s, 0.0);
+        assert_eq!(cp.ops, 0);
+        assert!(cp.time_by_kind.is_empty());
+    }
+}

@@ -42,4 +42,4 @@ pub use memory::{AllocationId, MemoryCategory, MemoryPool, OutOfMemory};
 pub use metrics::{
     gpu_idle_rate_cdf, hardware_utilization, mean_gpu_utilization, HardwareUtilization,
 };
-pub use timeline::{empirical_cdf, Lane, OpId, OpKind, ScheduledOp, Timeline};
+pub use timeline::{empirical_cdf, Lane, OpId, OpKind, ScheduledOp, Timeline, TraceSink};

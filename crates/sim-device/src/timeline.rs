@@ -111,6 +111,37 @@ impl Lane {
             Lane::DeviceCompute(d) | Lane::DeviceComm(d) | Lane::DeviceAdam(d) => Some(d as usize),
         }
     }
+
+    /// Compact wire code for trace serialisation: `4 * device + class` with
+    /// class compute = 0 / comm = 1 / adam = 2, and the shared scheduler lane
+    /// at the otherwise-unused code 3.  Round-trips through
+    /// [`Lane::from_code`].
+    pub fn code(self) -> u32 {
+        match self {
+            Lane::CpuScheduler => 3,
+            Lane::GpuCompute => 0,
+            Lane::GpuComm => 1,
+            Lane::CpuAdam => 2,
+            Lane::DeviceCompute(d) => 4 * d as u32,
+            Lane::DeviceComm(d) => 4 * d as u32 + 1,
+            Lane::DeviceAdam(d) => 4 * d as u32 + 2,
+        }
+    }
+
+    /// Inverse of [`Lane::code`]; `None` for codes no lane encodes to
+    /// (class 3 of a non-zero device).
+    pub fn from_code(code: u32) -> Option<Lane> {
+        if code == 3 {
+            return Some(Lane::CpuScheduler);
+        }
+        let device = (code / 4) as usize;
+        match code % 4 {
+            0 => Some(Lane::compute_of(device)),
+            1 => Some(Lane::comm_of(device)),
+            2 => Some(Lane::adam_of(device)),
+            _ => None,
+        }
+    }
 }
 
 /// The kind of work an operation represents; used for run-time breakdowns
@@ -144,9 +175,63 @@ pub enum OpKind {
     Other,
 }
 
+impl OpKind {
+    /// Every kind, in wire-code order.
+    pub const ALL: [OpKind; 11] = [
+        OpKind::Forward,
+        OpKind::Backward,
+        OpKind::LoadParams,
+        OpKind::StoreGrads,
+        OpKind::CacheCopy,
+        OpKind::AllReduce,
+        OpKind::Resize,
+        OpKind::CpuAdamUpdate,
+        OpKind::GpuAdamUpdate,
+        OpKind::Scheduling,
+        OpKind::Other,
+    ];
+
+    /// Compact wire code for trace serialisation (index into
+    /// [`OpKind::ALL`]); round-trips through [`OpKind::from_code`].
+    pub fn code(self) -> u32 {
+        OpKind::ALL.iter().position(|k| *k == self).unwrap() as u32
+    }
+
+    /// Inverse of [`OpKind::code`]; `None` for out-of-range codes.
+    pub fn from_code(code: u32) -> Option<OpKind> {
+        OpKind::ALL.get(code as usize).copied()
+    }
+
+    /// Short display name used by reports and Chrome-trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Forward => "Forward",
+            OpKind::Backward => "Backward",
+            OpKind::LoadParams => "LoadParams",
+            OpKind::StoreGrads => "StoreGrads",
+            OpKind::CacheCopy => "CacheCopy",
+            OpKind::AllReduce => "AllReduce",
+            OpKind::Resize => "Resize",
+            OpKind::CpuAdamUpdate => "CpuAdamUpdate",
+            OpKind::GpuAdamUpdate => "GpuAdamUpdate",
+            OpKind::Scheduling => "Scheduling",
+            OpKind::Other => "Other",
+        }
+    }
+}
+
 /// Identifier of a submitted operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(usize);
+
+impl OpId {
+    /// Position of the operation in its timeline's submission order.
+    /// Timelines are per-batch, so this doubles as the within-batch index a
+    /// trace encoder can use to express dependencies compactly.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// A scheduled operation with its resolved start and end times.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,17 +244,41 @@ pub struct ScheduledOp {
     pub lane: Lane,
     /// Start time in seconds.
     pub start: f64,
-    /// End time in seconds.
+    /// End time in seconds (`start + dur`, rounded once).
     pub end: f64,
+    /// Duration in seconds exactly as submitted.  Kept separately from
+    /// `end - start` so a trace replay can re-push the identical value:
+    /// recomputing the duration from the rounded `end` could be off by an
+    /// ulp and break bit-exact schedule reproduction.
+    pub dur: f64,
     /// Bytes moved (zero for pure compute).
     pub bytes: u64,
+    /// Gaussian rows the operation touched (zero when not applicable).
+    pub rows: u64,
+    /// Micro-batch index within the batch, when the operation belongs to
+    /// one (`None` for batch-level work such as scheduling or resizes).
+    pub microbatch: Option<u32>,
+    /// Cross-lane dependencies the operation waited on, as submitted.
+    /// Empty for measured (wall-clock) spans, whose ordering is implicit in
+    /// their recorded start times.
+    pub deps: Vec<OpId>,
 }
 
 impl ScheduledOp {
-    /// Duration in seconds.
+    /// Duration in seconds (the submitted value, see [`ScheduledOp::dur`]).
     pub fn duration(&self) -> f64 {
-        self.end - self.start
+        self.dur
     }
+}
+
+/// Receiver for scheduled operations flushed out of a [`Timeline`]; the
+/// hook through which trace recorders capture every op the runtime
+/// schedules without the runtime depending on any trace format.
+pub trait TraceSink {
+    /// Records one scheduled op attributed to `(epoch, batch)`.  Ops of one
+    /// batch arrive in submission order, which is also the order their
+    /// within-batch [`OpId`] indices count.
+    fn record_op(&mut self, epoch: u64, batch: u64, op: &ScheduledOp);
 }
 
 /// An as-early-as-possible scheduler over serialising lanes with
@@ -209,6 +318,26 @@ impl Timeline {
         bytes: u64,
         deps: &[OpId],
     ) -> OpId {
+        self.push_traced(kind, lane, duration, bytes, 0, None, deps)
+    }
+
+    /// Like [`push_with_bytes`](Self::push_with_bytes) but also annotates
+    /// the op with the Gaussian `rows` it touches and the `microbatch` it
+    /// belongs to, so a trace of the schedule carries enough structure to be
+    /// replayed under altered pipeline knobs.
+    ///
+    /// # Panics
+    /// Panics if `duration` is negative or a dependency id is unknown.
+    pub fn push_traced(
+        &mut self,
+        kind: OpKind,
+        lane: Lane,
+        duration: f64,
+        bytes: u64,
+        rows: u64,
+        microbatch: Option<u32>,
+        deps: &[OpId],
+    ) -> OpId {
         assert!(
             duration >= 0.0,
             "duration must be non-negative, got {duration}"
@@ -232,10 +361,65 @@ impl Timeline {
             lane,
             start,
             end,
+            dur: duration,
             bytes,
+            rows,
+            microbatch,
+            deps: deps.to_vec(),
         });
         self.lane_available.insert(lane, end);
         id
+    }
+
+    /// Records a *measured* span with an explicit `[start, end]` interval —
+    /// the form wall-clock backends (the synchronous trainer and the
+    /// threaded backend) use to capture what actually ran, as opposed to
+    /// simulated ops whose start the scheduler derives.  The lane's
+    /// availability advances to at least `end` so simulated and measured ops
+    /// can share a timeline without travelling back in time; no dependency
+    /// edges are recorded (ordering is implicit in the measured starts).
+    ///
+    /// # Panics
+    /// Panics if `start` is negative or `end < start`.
+    pub fn push_span(
+        &mut self,
+        kind: OpKind,
+        lane: Lane,
+        start: f64,
+        end: f64,
+        bytes: u64,
+        rows: u64,
+        microbatch: Option<u32>,
+    ) -> OpId {
+        assert!(start >= 0.0, "span start must be non-negative, got {start}");
+        assert!(
+            end >= start,
+            "span must not end before it starts ({end} < {start})"
+        );
+        let id = OpId(self.ops.len());
+        self.ops.push(ScheduledOp {
+            id,
+            kind,
+            lane,
+            start,
+            end,
+            dur: end - start,
+            bytes,
+            rows,
+            microbatch,
+            deps: Vec::new(),
+        });
+        let lane_ready = *self.lane_available.get(&lane).unwrap_or(&0.0);
+        self.lane_available.insert(lane, lane_ready.max(end));
+        id
+    }
+
+    /// Flushes every scheduled op, in submission order, into `sink`
+    /// attributed to `(epoch, batch)`.
+    pub fn flush_trace(&self, epoch: u64, batch: u64, sink: &mut dyn TraceSink) {
+        for op in &self.ops {
+            sink.record_op(epoch, batch, op);
+        }
     }
 
     /// All scheduled operations in submission order.
@@ -524,6 +708,103 @@ mod tests {
         assert_eq!(t.idle_time(Lane::GpuCompute), 0.0);
         assert_eq!(t.idle_fraction(Lane::GpuCompute), 0.0);
         assert!(t.idle_rates(Lane::GpuCompute, 1.0).is_empty());
+    }
+
+    #[test]
+    fn lane_and_kind_wire_codes_round_trip() {
+        let mut lanes: Vec<Lane> = Lane::ALL.to_vec();
+        for d in [1usize, 2, 7, Lane::MAX_DEVICE] {
+            lanes.push(Lane::compute_of(d));
+            lanes.push(Lane::comm_of(d));
+            lanes.push(Lane::adam_of(d));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for lane in lanes {
+            let code = lane.code();
+            assert!(seen.insert(code), "duplicate wire code {code} for {lane:?}");
+            assert_eq!(Lane::from_code(code), Some(lane));
+        }
+        assert_eq!(Lane::from_code(7), None, "class 3 of device 1 is unused");
+        for kind in OpKind::ALL {
+            assert_eq!(OpKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(OpKind::from_code(OpKind::ALL.len() as u32), None);
+    }
+
+    #[test]
+    fn push_traced_records_rows_microbatch_and_deps() {
+        let mut t = Timeline::new();
+        let load = t.push_traced(
+            OpKind::LoadParams,
+            Lane::GpuComm,
+            1.0,
+            640,
+            10,
+            Some(0),
+            &[],
+        );
+        let fwd = t.push_traced(
+            OpKind::Forward,
+            Lane::GpuCompute,
+            2.0,
+            0,
+            10,
+            Some(0),
+            &[load],
+        );
+        let op = &t.ops()[fwd.index()];
+        assert_eq!(op.rows, 10);
+        assert_eq!(op.microbatch, Some(0));
+        assert_eq!(op.deps, vec![load]);
+        assert_eq!(op.start, 1.0);
+        // Plain push routes through the same path with empty annotations.
+        let other = t.push(OpKind::Other, Lane::CpuScheduler, 0.5, &[fwd]);
+        let op = &t.ops()[other.index()];
+        assert_eq!(op.rows, 0);
+        assert_eq!(op.microbatch, None);
+        assert_eq!(op.deps, vec![fwd]);
+    }
+
+    #[test]
+    fn push_span_keeps_measured_interval_and_advances_lane() {
+        let mut t = Timeline::new();
+        t.push_span(OpKind::Forward, Lane::GpuCompute, 1.0, 3.0, 0, 5, Some(0));
+        // A measured span that started earlier but is logged later keeps its
+        // own interval; the lane clock never moves backwards.
+        t.push_span(OpKind::Forward, Lane::GpuCompute, 0.5, 1.0, 0, 5, Some(1));
+        assert_eq!(t.ops()[1].start, 0.5);
+        assert_eq!(t.ops()[1].end, 1.0);
+        assert_eq!(t.makespan(), 3.0);
+        // Simulated work pushed after a span starts no earlier than the
+        // furthest measured end.
+        let next = t.push(OpKind::Backward, Lane::GpuCompute, 1.0, &[]);
+        assert_eq!(t.ops()[next.index()].start, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "end before it starts")]
+    fn inverted_span_panics() {
+        let mut t = Timeline::new();
+        t.push_span(OpKind::Other, Lane::GpuCompute, 2.0, 1.0, 0, 0, None);
+    }
+
+    #[test]
+    fn flush_trace_replays_ops_in_submission_order() {
+        struct Collect(Vec<(u64, u64, usize, OpKind)>);
+        impl TraceSink for Collect {
+            fn record_op(&mut self, epoch: u64, batch: u64, op: &ScheduledOp) {
+                self.0.push((epoch, batch, op.id.index(), op.kind));
+            }
+        }
+        let mut t = Timeline::new();
+        let a = t.push(OpKind::LoadParams, Lane::GpuComm, 1.0, &[]);
+        t.push(OpKind::Forward, Lane::GpuCompute, 1.0, &[a]);
+        let mut sink = Collect(Vec::new());
+        t.flush_trace(3, 7, &mut sink);
+        assert_eq!(
+            sink.0,
+            vec![(3, 7, 0, OpKind::LoadParams), (3, 7, 1, OpKind::Forward)]
+        );
     }
 
     #[test]
