@@ -1,0 +1,171 @@
+//! Robustness contract of the trace and chaos binaries: every I/O or decode
+//! failure must be a diagnostic on stderr plus a non-zero exit code — never
+//! a panic, never a silent success.  Exercised end-to-end against the built
+//! binaries (Cargo exposes their paths via `CARGO_BIN_EXE_*`).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(bin)
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary spawns")
+}
+
+fn assert_clean_failure(out: &Output, what: &str) {
+    assert!(
+        !out.status.success(),
+        "{what}: must exit non-zero, got {:?}\nstdout: {}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.trim().is_empty(),
+        "{what}: a failure must carry a stderr diagnostic"
+    );
+    // A panic would print the "thread 'main' panicked" banner; the contract
+    // is a clean diagnostic instead.
+    assert!(
+        !stderr.contains("panicked"),
+        "{what}: binary panicked instead of failing cleanly:\n{stderr}"
+    );
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clm_trace_bins_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn trace_binaries_fail_cleanly_without_arguments() {
+    let dir = scratch_dir("noargs");
+    for bin in [
+        env!("CARGO_BIN_EXE_trace_replay"),
+        env!("CARGO_BIN_EXE_trace_report"),
+    ] {
+        let out = run(bin, &[], &dir);
+        assert_clean_failure(&out, &format!("{bin} with no arguments"));
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "missing-path failure should print usage"
+        );
+    }
+}
+
+#[test]
+fn trace_binaries_fail_cleanly_on_missing_files() {
+    let dir = scratch_dir("missing");
+    for bin in [
+        env!("CARGO_BIN_EXE_trace_replay"),
+        env!("CARGO_BIN_EXE_trace_report"),
+    ] {
+        let out = run(bin, &["does_not_exist.clmtrace"], &dir);
+        assert_clean_failure(&out, &format!("{bin} on a missing file"));
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("cannot read"),
+            "I/O failure should name the unreadable path"
+        );
+    }
+}
+
+#[test]
+fn trace_binaries_reject_corrupt_and_truncated_input() {
+    let dir = scratch_dir("corrupt");
+
+    // Record a real trace so the truncation test corrupts genuine bytes,
+    // not a synthetic stand-in.
+    let trace_path = dir.join("real.clmtrace");
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_record"),
+        &[
+            "--scale",
+            "test",
+            "--out",
+            trace_path.to_str().expect("utf-8 path"),
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "trace_record must succeed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&trace_path).expect("recorded trace exists");
+    assert!(bytes.len() > 64, "recorded trace is implausibly small");
+
+    // Truncated at every interesting depth: inside the magic, inside the
+    // header, inside the event stream.
+    for cut in [3, 16, bytes.len() / 2] {
+        let cut_path = dir.join(format!("cut_{cut}.clmtrace"));
+        std::fs::write(&cut_path, &bytes[..cut]).expect("write truncated");
+        for bin in [
+            env!("CARGO_BIN_EXE_trace_replay"),
+            env!("CARGO_BIN_EXE_trace_report"),
+        ] {
+            let out = run(bin, &[cut_path.to_str().expect("utf-8 path")], &dir);
+            assert_clean_failure(&out, &format!("{bin} on a trace truncated at {cut}"));
+        }
+    }
+
+    // Corrupt magic: right length, wrong container.
+    let garbage_path = dir.join("garbage.clmtrace");
+    let mut garbage = bytes.clone();
+    garbage[0] ^= 0xFF;
+    std::fs::write(&garbage_path, &garbage).expect("write corrupt");
+    for bin in [
+        env!("CARGO_BIN_EXE_trace_replay"),
+        env!("CARGO_BIN_EXE_trace_report"),
+    ] {
+        let out = run(bin, &[garbage_path.to_str().expect("utf-8 path")], &dir);
+        assert_clean_failure(&out, &format!("{bin} on a corrupt magic"));
+    }
+
+    // Bad knob values fail before any file I/O.
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_replay"),
+        &[trace_path.to_str().expect("utf-8 path"), "--window", "lots"],
+        &dir,
+    );
+    assert_clean_failure(&out, "trace_replay with a non-numeric --window");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_record_rejects_unknown_backend_and_scale() {
+    let dir = scratch_dir("record_args");
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_record"),
+        &["--backend", "quantum"],
+        &dir,
+    );
+    assert_clean_failure(&out, "trace_record with an unknown backend");
+    let out = run(
+        env!("CARGO_BIN_EXE_trace_record"),
+        &["--scale", "galactic"],
+        &dir,
+    );
+    assert_clean_failure(&out, "trace_record with an unknown scale");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_bench_fails_cleanly_on_unwritable_outputs() {
+    let dir = scratch_dir("chaos_out");
+    let out = run(
+        env!("CARGO_BIN_EXE_chaos_bench"),
+        &["--out", "no_such_dir/bench.json"],
+        &dir,
+    );
+    assert_clean_failure(&out, "chaos_bench with an unwritable --out");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot write"),
+        "write failure should name the path"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

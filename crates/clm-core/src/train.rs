@@ -219,6 +219,50 @@ impl Trainer {
         }
     }
 
+    /// Rebuilds a trainer from checkpointed state so training continues
+    /// bit-identically to the uninterrupted run.  The offloaded host store
+    /// is reassembled from the model (batch boundaries keep the two in
+    /// sync, so the boundary snapshot loses nothing) with its traffic
+    /// counters restored to `bytes_gathered` / `bytes_scattered`.
+    ///
+    /// # Panics
+    /// Panics if the accumulator length does not match the model or the
+    /// optimiser holds more rows than the model.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_checkpoint(
+        model: GaussianModel,
+        optimizer: GaussianAdam,
+        config: TrainConfig,
+        batches_trained: usize,
+        grad_norm_accum: Vec<f32>,
+        resize_events: usize,
+        last_resize_batch: Option<usize>,
+        bytes_gathered: u64,
+        bytes_scattered: u64,
+    ) -> Self {
+        assert_eq!(
+            grad_norm_accum.len(),
+            model.len(),
+            "gradient-norm accumulator does not match the model"
+        );
+        assert!(
+            optimizer.len() <= model.len(),
+            "optimiser holds more rows than the model"
+        );
+        let mut offloaded = OffloadedModel::from_model(&model);
+        offloaded.restore_traffic_counters(bytes_gathered, bytes_scattered);
+        Trainer {
+            model,
+            offloaded,
+            optimizer,
+            config,
+            batches_trained,
+            grad_norm_accum,
+            resize_events,
+            last_resize_batch,
+        }
+    }
+
     /// The current model.
     pub fn model(&self) -> &GaussianModel {
         &self.model
@@ -254,6 +298,31 @@ impl Trainer {
     /// boundary (one per Gaussian; all zeros without a densify schedule).
     pub fn grad_norm_accum(&self) -> &[f32] {
         &self.grad_norm_accum
+    }
+
+    /// The `batches_trained` value at which the last densification resize
+    /// was applied, if any (part of the boundary cursor a checkpoint must
+    /// carry to keep [`pending_resize`](Self::pending_resize) exact).
+    pub fn last_resize_batch(&self) -> Option<usize> {
+        self.last_resize_batch
+    }
+
+    /// Changes the device count mid-run — the elastic-recovery path a
+    /// sharded runtime takes after permanent device loss.  Only the config
+    /// changes; batch plans from the next boundary on shard across the new
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `num_devices` is zero.
+    pub fn set_num_devices(&mut self, num_devices: usize) {
+        assert!(num_devices >= 1, "need at least one device");
+        self.config.num_devices = num_devices;
+    }
+
+    /// Overrides the compute-thread knob (used when a restored config is
+    /// re-adopted by a runtime that pins its own thread count).
+    pub fn set_compute_threads(&mut self, compute_threads: usize) {
+        self.config.compute_threads = compute_threads;
     }
 
     /// The densification resize due **before** the next batch, if any.

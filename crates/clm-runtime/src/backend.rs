@@ -23,6 +23,7 @@ use clm_core::{BatchReport, DensifyReport, Trainer};
 use gs_core::camera::Camera;
 use gs_render::Image;
 use gs_scene::Dataset;
+use sim_device::FaultStats;
 
 /// Busy seconds of each pipeline lane over one batch.
 ///
@@ -66,6 +67,9 @@ pub struct ExecutionReport {
     /// The densification resize applied at this batch's boundary, if one
     /// was due (`None` for the fixed-size batches in between).
     pub resize: Option<DensifyReport>,
+    /// Faults injected (and recovered from) while executing this batch.
+    /// All-zero when no fault plan is installed.
+    pub faults: FaultStats,
 }
 
 impl ExecutionReport {

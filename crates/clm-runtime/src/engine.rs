@@ -29,7 +29,7 @@ use gs_core::PARAMS_PER_GAUSSIAN;
 use gs_optim::GradientBuffer;
 use gs_render::Image;
 use gs_scene::Dataset;
-use sim_device::{DeviceProfile, Lane, OpId, OpKind, Timeline};
+use sim_device::{DeviceProfile, FaultPlan, Lane, OpId, OpKind, Timeline};
 
 /// Scheduling-lane cost per Gaussian-view of frustum culling (seconds).
 const CULL_COST_PER_GAUSSIAN_VIEW: f64 = 2.0e-10;
@@ -157,6 +157,10 @@ pub struct PipelinedEngine {
     /// Adaptive-window state fed by each batch's simulated fetch/compute
     /// times.
     window_selector: WindowSelector,
+    /// Installed fault-injection plan, if any.  Faults only ever inflate
+    /// simulated durations or inject staging denials — the numeric path is
+    /// untouched by construction.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl PipelinedEngine {
@@ -186,7 +190,52 @@ impl PipelinedEngine {
             config,
             pool: PinnedBufferPool::new(),
             window_selector,
+            fault_plan: None,
         }
+    }
+
+    /// Creates an engine around an already-built trainer — the
+    /// checkpoint-restore path: the trainer carries its restored model,
+    /// optimiser moments and counters, and training continues from there.
+    ///
+    /// # Panics
+    /// Panics under the same config conditions as [`new`](Self::new).
+    pub fn with_trainer(mut trainer: Trainer, config: RuntimeConfig) -> Self {
+        assert!(config.cost_scale > 0.0, "cost_scale must be positive");
+        assert!(
+            config.pixel_cost_scale > 0.0,
+            "pixel_cost_scale must be positive"
+        );
+        assert!(
+            config.num_devices == 1,
+            "PipelinedEngine is single-device (num_devices must be exactly 1); \
+             use ShardedEngine for multi-device configs"
+        );
+        if config.compute_threads > 0 {
+            trainer.set_compute_threads(config.compute_threads);
+        }
+        let window_selector = WindowSelector::warm_started(config.warm_start_ratio);
+        PipelinedEngine {
+            trainer,
+            config,
+            pool: PinnedBufferPool::new(),
+            window_selector,
+            fault_plan: None,
+        }
+    }
+
+    /// Installs a fault-injection plan: from the next batch on, the
+    /// timeline's ops are filtered through the plan's seeded schedule
+    /// (transient retries, straggler lanes) and staging-pool acquires may
+    /// be denied.  Simulated backoff is priced at the engine's cost scale.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        plan.scale_backoff(self.config.cost_scale);
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The wrapped trainer (model, config, counters).
@@ -237,6 +286,10 @@ impl PipelinedEngine {
         let plan = self.trainer.resize_and_plan(cameras);
         let mut grads = GradientBuffer::for_model(self.trainer.model());
         let mut timeline = Timeline::new();
+        let fault_before = self.fault_plan.as_ref().map(|p| p.stats());
+        if let Some(fp) = &self.fault_plan {
+            timeline.install_fault_sink(fp.sink());
+        }
         let cost = CostModel::from_runtime(&self.config);
         let window = self
             .window_selector
@@ -309,12 +362,17 @@ impl PipelinedEngine {
         }
 
         let batch = self.trainer.finish_batch(&plan, &grads, total_loss);
+        let faults = match (&self.fault_plan, fault_before) {
+            (Some(p), Some(before)) => p.stats().since(&before),
+            _ => Default::default(),
+        };
         IterationReport {
             batch,
             timeline,
             views: cameras.len(),
             prefetch_window: window,
             resize: plan.resize.as_ref().map(|e| e.report()),
+            faults,
         }
     }
 
@@ -331,6 +389,33 @@ impl PipelinedEngine {
             start = end;
         }
         reports
+    }
+
+    /// Leases a staging buffer, honouring an installed fault plan's
+    /// pinned-pool exhaustion schedule: a denied lease stalls one backoff
+    /// interval on the host scheduler lane and then succeeds (the pool
+    /// recycles at the batch boundary), so exhaustion costs schedule time
+    /// but never changes what is staged.
+    fn acquire_staging(
+        &mut self,
+        rows: usize,
+        timeline: &mut Timeline,
+    ) -> crate::pool::StagingBuffer {
+        if let Some(fp) = &self.fault_plan {
+            if fp.next_staging_acquire() {
+                self.pool.note_denied();
+                timeline.push_traced(
+                    OpKind::Other,
+                    Lane::CpuScheduler,
+                    fp.retry().backoff_base,
+                    0,
+                    0,
+                    None,
+                    &[],
+                );
+            }
+        }
+        self.pool.acquire(rows)
     }
 
     /// The CLM pipeline: windowed gather prefetch on `GpuComm`, compute on
@@ -386,7 +471,7 @@ impl PipelinedEngine {
                 &mut gather_ops,
                 cost,
             );
-            let mut buf = self.pool.acquire(plan.fetched[i].len());
+            let mut buf = self.acquire_staging(plan.fetched[i].len(), timeline);
             self.trainer.stage_microbatch(plan, i, &mut buf);
             staging_slots[i] = Some(buf);
         }
@@ -470,7 +555,7 @@ impl PipelinedEngine {
                     &mut gather_ops,
                     cost,
                 );
-                let mut buf = self.pool.acquire(plan.fetched[j].len());
+                let mut buf = self.acquire_staging(plan.fetched[j].len(), timeline);
                 self.trainer.stage_microbatch(plan, j, &mut buf);
                 staging_slots[j] = Some(buf);
             }
@@ -705,6 +790,7 @@ impl ExecutionBackend for PipelinedEngine {
             device_lanes: Vec::new(),
             sim_makespan: Some(t.makespan()),
             resize: report.resize,
+            faults: report.faults,
             batch: report.batch,
         }
     }

@@ -79,7 +79,7 @@ pub use prefetch::{PrefetchPolicy, PrefetchWindow, WarmStartCache, WindowSelecto
 pub use report::{IterationReport, LaneReport};
 pub use sharded::{ShardedEngine, PEER_HOP_FACTOR};
 pub use threaded::{ThreadedBackend, ThreadedConfig};
-pub use workers::{spawn_lane, BusyTimer, RecordedSpan, SpanLog, WorkerLane};
+pub use workers::{spawn_lane, BusyTimer, RecordedSpan, SpanLog, SpanLogError, WorkerLane};
 
 #[cfg(test)]
 mod tests {
@@ -673,6 +673,160 @@ mod tests {
         );
         // Warm starts are pure scheduling.
         assert_eq!(first_cold.batch, first_warm.batch);
+    }
+
+    #[test]
+    fn fault_injection_changes_schedule_never_numerics() {
+        use sim_device::{FaultPlan, FaultSpec};
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let mut clean =
+            PipelinedEngine::new(init.clone(), TrainConfig::default(), runtime_config(2));
+        let mut faulted =
+            PipelinedEngine::new(init.clone(), TrainConfig::default(), runtime_config(2));
+        faulted.install_fault_plan(FaultPlan::new(
+            FaultSpec::new(11)
+                .with_transients(0.5, 16)
+                .with_straggler(Lane::GpuComm, 3.0, 4),
+        ));
+        for _ in 0..2 {
+            let c = clean.run_batch(cams, tgts);
+            let f = faulted.run_batch(cams, tgts);
+            assert_eq!(c.batch, f.batch, "faults must never touch numerics");
+            assert!(
+                f.makespan() > c.makespan(),
+                "retries and straggles must cost schedule time"
+            );
+        }
+        assert_eq!(clean.trainer().model(), faulted.trainer().model());
+        let stats = faulted.fault_plan().unwrap().stats();
+        assert!(stats.transients > 0, "rate 0.5 must have struck: {stats:?}");
+        assert!(stats.straggled_ops > 0, "straggler must have fired");
+        assert!(stats.backoff_seconds > 0.0);
+    }
+
+    #[test]
+    fn staging_exhaustion_denials_surface_in_pool_and_report() {
+        use sim_device::{FaultPlan, FaultSpec};
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let mut clean =
+            PipelinedEngine::new(init.clone(), TrainConfig::default(), runtime_config(2));
+        let mut starved =
+            PipelinedEngine::new(init.clone(), TrainConfig::default(), runtime_config(2));
+        starved.install_fault_plan(FaultPlan::new(
+            FaultSpec::new(0).with_staging_exhaustion(1, 2),
+        ));
+        let c = clean.run_batch(cams, tgts);
+        let s = starved.run_batch(cams, tgts);
+        assert_eq!(
+            c.batch, s.batch,
+            "denied leases retry, content is identical"
+        );
+        assert_eq!(s.faults.exhaustion_denials, 2);
+        assert_eq!(starved.pool_stats().denied, 2);
+        assert_eq!(clean.pool_stats().denied, 0);
+        assert!(
+            s.makespan() > c.makespan(),
+            "each denial stalls one backoff interval"
+        );
+        assert_eq!(clean.trainer().model(), starved.trainer().model());
+    }
+
+    #[test]
+    fn threaded_faults_recover_bit_identically() {
+        use sim_device::{FaultPlan, FaultSpec};
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let train = TrainConfig::default();
+        let mut clean =
+            ThreadedBackend::new(init.clone(), train.clone(), ThreadedConfig::default());
+        let mut faulted = ThreadedBackend::new(init.clone(), train, ThreadedConfig::default());
+        faulted.install_fault_plan(FaultPlan::new(
+            FaultSpec::new(23)
+                .with_transients(0.5, 16)
+                .with_straggler(Lane::GpuComm, 2.0, 3)
+                .with_staging_exhaustion(2, 1),
+        ));
+        for _ in 0..2 {
+            let c = clean.run_batch(cams, tgts);
+            let f = faulted.run_batch(cams, tgts);
+            assert_eq!(c.batch, f.batch, "real re-execution must be pure");
+        }
+        assert_eq!(clean.trainer().model(), faulted.trainer().model());
+        let stats = faulted.fault_plan().unwrap().stats();
+        assert!(stats.transients > 0, "rate 0.5 must have struck: {stats:?}");
+        assert!(stats.straggled_ops > 0);
+        assert_eq!(stats.exhaustion_denials, 1);
+        assert_eq!(faulted.pool_stats().denied, 1);
+        assert_eq!(stats.aborts, 0, "no lane may have aborted");
+    }
+
+    #[test]
+    fn sharded_device_loss_drains_repartitions_and_stays_bit_identical() {
+        use sim_device::{FaultPlan, FaultSpec};
+        let (dataset, targets, init) = tiny_setup();
+        let cams = &dataset.cameras[..6];
+        let tgts = &targets[..6];
+        let train = TrainConfig::default();
+        // Loses 2 of 4 devices at the boundary before batch 1.
+        let mut doomed = ShardedEngine::new(
+            init.clone(),
+            train.clone(),
+            RuntimeConfig {
+                num_devices: 4,
+                ..runtime_config(2)
+            },
+            &dataset.cameras,
+        );
+        doomed.install_fault_plan(FaultPlan::new(FaultSpec::new(0).with_device_loss(1, 2)));
+        // The reference trains at the survivor count throughout — the
+        // trajectory is device-count-invariant, so the post-loss run must
+        // land on exactly this model.
+        let mut survivor = ShardedEngine::new(
+            init.clone(),
+            train,
+            RuntimeConfig {
+                num_devices: 2,
+                ..runtime_config(2)
+            },
+            &dataset.cameras,
+        );
+        let mut losses = 0;
+        for _ in 0..3 {
+            let d = doomed.run_batch(cams, tgts);
+            let s = survivor.run_batch(cams, tgts);
+            assert_eq!(d.batch, s.batch, "loss boundary must not disturb numerics");
+            losses += d.faults.device_losses;
+        }
+        assert_eq!(losses, 1, "the loss fires exactly once");
+        assert_eq!(doomed.config().num_devices, 2, "survivors only");
+        assert_eq!(doomed.trainer().config().num_devices, 2);
+        assert_eq!(doomed.trainer().model(), survivor.trainer().model());
+        assert_eq!(
+            doomed.partition().device_counts().len(),
+            2,
+            "ownership repartitioned onto the survivors"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one survivor")]
+    fn losing_every_device_panics() {
+        let (dataset, _, init) = tiny_setup();
+        let mut engine = ShardedEngine::new(
+            init,
+            TrainConfig::default(),
+            RuntimeConfig {
+                num_devices: 2,
+                ..Default::default()
+            },
+            &dataset.cameras,
+        );
+        engine.lose_devices(2);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Figures 11–15 and Table 7 are derived from.
 
 use clm_core::{BatchReport, DensifyReport};
-use sim_device::{Lane, OpKind, Timeline};
+use sim_device::{FaultStats, Lane, OpKind, Timeline};
 
 /// Busy/idle accounting of one lane over one iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +39,9 @@ pub struct IterationReport {
     /// The densification resize applied at this batch's boundary, if one
     /// was due (`None` for the fixed-size batches in between).
     pub resize: Option<DensifyReport>,
+    /// Faults injected (and recovered from) while executing this batch.
+    /// All-zero when no fault plan is installed.
+    pub faults: FaultStats,
 }
 
 impl IterationReport {
@@ -139,6 +142,7 @@ mod tests {
             views: 2,
             prefetch_window: 1,
             resize: None,
+            faults: FaultStats::default(),
         }
     }
 
@@ -175,6 +179,7 @@ mod tests {
             views: 2,
             prefetch_window: 0,
             resize: None,
+            faults: FaultStats::default(),
         };
         // Device 0's group is the classic lanes; device 1's lanes are only
         // visible through the device-aware helpers.

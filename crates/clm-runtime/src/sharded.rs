@@ -63,7 +63,7 @@ use gs_core::PARAMS_PER_GAUSSIAN;
 use gs_optim::GradientBuffer;
 use gs_render::Image;
 use gs_scene::{partition_by_footprint, Dataset, GaussianPartition};
-use sim_device::{Lane, OpId, OpKind, Timeline};
+use sim_device::{FaultPlan, Lane, OpId, OpKind, Timeline};
 
 /// Cost multiplier for gathering a row whose owner is another device: the
 /// copy crosses from the owner's pinned pool through host memory before the
@@ -87,6 +87,10 @@ pub struct ShardedEngine {
     local_rows: u64,
     /// Staged rows that crossed shards (owner ≠ fetching device) so far.
     cross_shard_rows: u64,
+    /// Installed fault-injection plan, if any.  Faults inflate simulated
+    /// durations, deny staging leases or drop devices at batch boundaries —
+    /// the numeric path is untouched by construction.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ShardedEngine {
@@ -140,7 +144,86 @@ impl ShardedEngine {
             window_selector,
             local_rows: 0,
             cross_shard_rows: 0,
+            fault_plan: None,
         }
+    }
+
+    /// Creates a sharded engine around an already-built trainer — the
+    /// checkpoint-restore path: the trainer carries its restored model,
+    /// optimiser moments and counters, and training continues from there.
+    /// The ownership partition is computed fresh from the restored model.
+    ///
+    /// # Panics
+    /// Panics under the same config conditions as [`new`](Self::new).
+    pub fn with_trainer(mut trainer: Trainer, config: RuntimeConfig, cameras: &[Camera]) -> Self {
+        assert!(config.num_devices >= 1, "num_devices must be at least 1");
+        assert!(
+            config.num_devices <= Lane::MAX_DEVICE + 1,
+            "num_devices must fit the timeline's device-lane range"
+        );
+        assert!(config.cost_scale > 0.0, "cost_scale must be positive");
+        assert!(
+            config.pixel_cost_scale > 0.0,
+            "pixel_cost_scale must be positive"
+        );
+        if config.compute_threads > 0 {
+            trainer.set_compute_threads(config.compute_threads);
+        }
+        trainer.set_num_devices(config.num_devices);
+        let partition = if trainer.config().system == SystemKind::Clm {
+            partition_by_footprint(trainer.model(), cameras, config.num_devices)
+        } else {
+            GaussianPartition::single_device(trainer.model().len())
+        };
+        let window_selector = WindowSelector::warm_started(config.warm_start_ratio);
+        ShardedEngine {
+            trainer,
+            config,
+            partition,
+            partition_cameras: cameras.to_vec(),
+            pool: PinnedBufferPool::new(),
+            window_selector,
+            local_rows: 0,
+            cross_shard_rows: 0,
+            fault_plan: None,
+        }
+    }
+
+    /// Installs a fault-injection plan: from the next batch on, the
+    /// timeline's ops are filtered through the plan's seeded schedule,
+    /// staging leases may be denied, and a scheduled permanent device loss
+    /// fires at its batch boundary (see
+    /// [`lose_devices`](Self::lose_devices)).  Simulated backoff is priced
+    /// at the engine's cost scale.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        plan.scale_backoff(self.config.cost_scale);
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Permanently removes `lose` devices at the current batch boundary:
+    /// the engine's device count shrinks to the survivors and the Gaussian
+    /// ownership partition is recomputed over them.  Because the trajectory
+    /// is bit-identical at *every* device count, continuation on the
+    /// survivors equals a fault-free run at the surviving count — graceful
+    /// degradation, not divergence.
+    ///
+    /// # Panics
+    /// Panics if the loss would leave no survivors.
+    pub fn lose_devices(&mut self, lose: usize) {
+        let survivors = self.config.num_devices.saturating_sub(lose);
+        assert!(
+            survivors >= 1,
+            "device loss must leave at least one survivor (had {}, losing {lose})",
+            self.config.num_devices
+        );
+        self.config.num_devices = survivors;
+        self.trainer.set_num_devices(survivors);
+        self.repartition();
     }
 
     /// The wrapped trainer (model, config, counters).
@@ -217,6 +300,18 @@ impl ShardedEngine {
         );
         assert!(!cameras.is_empty(), "batch must contain at least one view");
 
+        let fault_before = self.fault_plan.as_ref().map(|p| p.stats());
+        // Scheduled permanent device loss fires here, at the batch
+        // boundary: every lane is drained between batches, so the survivors
+        // repartition and continue without any in-flight state to migrate.
+        if let Some(lose) = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.device_loss_at(self.trainer.batches_trained() as u64))
+        {
+            self.lose_devices(lose);
+        }
+
         // Densification boundary first: the per-device lane groups are all
         // scoped to one batch, so between batches every lane is drained and
         // the model may resize.  The boundary re-runs the footprint
@@ -227,6 +322,9 @@ impl ShardedEngine {
         let plan = self.trainer.resize_and_plan(cameras);
         let mut grads = GradientBuffer::for_model(self.trainer.model());
         let mut timeline = Timeline::new();
+        if let Some(fp) = &self.fault_plan {
+            timeline.install_fault_sink(fp.sink());
+        }
         let cost = CostModel::from_runtime(&self.config);
         let window = self
             .window_selector
@@ -298,12 +396,17 @@ impl ShardedEngine {
         }
 
         let batch = self.trainer.finish_batch(&plan, &grads, total_loss);
+        let faults = match (&self.fault_plan, fault_before) {
+            (Some(p), Some(before)) => p.stats().since(&before),
+            _ => Default::default(),
+        };
         IterationReport {
             batch,
             timeline,
             views: cameras.len(),
             prefetch_window: window,
             resize: plan.resize.as_ref().map(|e| e.report()),
+            faults,
         }
     }
 
@@ -571,6 +674,24 @@ impl ShardedEngine {
             &deps,
         );
 
+        if let Some(fp) = &self.fault_plan {
+            if fp.next_staging_acquire() {
+                // Denied lease: stall one backoff interval on the host
+                // scheduler, then succeed (the pool recycles at the batch
+                // boundary) — exhaustion costs schedule time, never staging
+                // content.
+                self.pool.note_denied();
+                timeline.push_traced(
+                    OpKind::Other,
+                    Lane::CpuScheduler,
+                    fp.retry().backoff_base,
+                    0,
+                    0,
+                    None,
+                    &[],
+                );
+            }
+        }
         let mut buf = self.pool.acquire(plan.fetched[i].len());
         self.trainer.stage_microbatch(plan, i, &mut buf);
         Some((id, buf))
@@ -667,6 +788,7 @@ impl ExecutionBackend for ShardedEngine {
             device_lanes,
             sim_makespan: Some(t.makespan()),
             resize: report.resize,
+            faults: report.faults,
             batch: report.batch,
         }
     }

@@ -46,8 +46,15 @@ use gs_optim::{compute_packed_chunked, AdamWorkItem};
 use gs_render::parallel::parallel_map;
 use gs_render::Image;
 use gs_scene::Dataset;
-use sim_device::{Lane, OpKind, Timeline};
-use std::time::Instant;
+use sim_device::{FaultPlan, Lane, OpKind, Timeline};
+use std::sync::mpsc::RecvTimeoutError;
+use std::time::{Duration, Instant};
+
+/// How long the coordinator waits on a lane completion before counting a
+/// timeout, once a fault plan is installed.  Generous against injected
+/// straggles (which re-execute microseconds of real work) but bounded, so a
+/// genuinely wedged lane aborts instead of hanging the batch.
+const LANE_RECV_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Configuration of the threaded backend.
 #[derive(Debug, Clone)]
@@ -110,6 +117,10 @@ pub struct ThreadedBackend {
     /// Adaptive-window state fed by each batch's measured fetch/compute
     /// thread-busy times.
     window_selector: WindowSelector,
+    /// Installed fault-injection plan, if any.  Transients and straggles
+    /// re-execute *pure* work (gathers into scratch, Adam math on clones),
+    /// so recovery costs real thread time but never changes the numerics.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ThreadedBackend {
@@ -138,7 +149,49 @@ impl ThreadedBackend {
             config,
             pool: PinnedBufferPool::new(),
             window_selector,
+            fault_plan: None,
         }
+    }
+
+    /// Creates a threaded backend around an already-built trainer — the
+    /// checkpoint-restore path: the trainer carries its restored model,
+    /// optimiser moments and counters, and training continues from there.
+    ///
+    /// # Panics
+    /// Panics under the same config conditions as [`new`](Self::new).
+    pub fn with_trainer(mut trainer: Trainer, config: ThreadedConfig) -> Self {
+        assert!(config.adam_threads > 0, "adam_threads must be at least 1");
+        assert!(
+            config.channel_capacity > 0,
+            "channel_capacity must be at least 1"
+        );
+        assert!(config.num_devices > 0, "num_devices must be at least 1");
+        if config.compute_threads > 0 {
+            trainer.set_compute_threads(config.compute_threads);
+        }
+        trainer.set_num_devices(config.num_devices);
+        let window_selector = WindowSelector::warm_started(config.warm_start_ratio);
+        ThreadedBackend {
+            trainer,
+            config,
+            pool: PinnedBufferPool::new(),
+            window_selector,
+            fault_plan: None,
+        }
+    }
+
+    /// Installs a fault-injection plan: from the next batch on, the worker
+    /// lanes consult the plan's seeded schedule — transient gather/Adam
+    /// failures re-execute their (pure) work, a straggler lane repeats its
+    /// copies, staging leases may be denied — and the coordinator's lane
+    /// waits become real receive timeouts with bounded retries.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The wrapped trainer (model, config, counters).
@@ -209,6 +262,12 @@ impl ThreadedBackend {
             "need one target image per camera"
         );
         assert!(!cameras.is_empty(), "batch must contain at least one view");
+
+        let fault_before = self.fault_plan.as_ref().map(|p| p.stats());
+        // Worker lanes and the coordinator all consult the same plan; the
+        // clone is an `Arc` bump so the scoped threads can borrow a local.
+        let fault_owned = self.fault_plan.clone();
+        let fault = fault_owned.as_ref();
 
         let wall_start = Instant::now();
         // Densification boundary first: the worker lanes are scoped to one
@@ -281,8 +340,43 @@ impl ThreadedBackend {
                             let indices = plan_ref.fetched[i].indices();
                             let span_start = spans.map(SpanLog::now);
                             let buf = timer.time(|| {
+                                if let Some(fp) = fault {
+                                    if fp.next_staging_acquire() {
+                                        // Denied lease: back off for real and
+                                        // retry — the retry always succeeds
+                                        // (the pool recycles), so the staged
+                                        // bytes are untouched.
+                                        pool.note_denied();
+                                        std::thread::sleep(Duration::from_secs_f64(
+                                            fp.retry().backoff_base,
+                                        ));
+                                    }
+                                }
                                 let mut buf = pool.acquire(indices.len());
                                 gather_rows_into(rows, indices, &mut buf);
+                                if let Some(fp) = fault {
+                                    // Failed attempts and straggles re-execute
+                                    // the pure copy into scratch: real lane
+                                    // time, identical staged bytes.
+                                    let mut redo = 0usize;
+                                    let mut backoff = 0.0f64;
+                                    if let Some(attempts) =
+                                        fp.transient_attempts(OpKind::LoadParams)
+                                    {
+                                        redo += attempts as usize;
+                                        backoff += fp.retry().total_backoff(attempts);
+                                    }
+                                    if let Some(factor) = fp.straggle_factor(Lane::GpuComm) {
+                                        redo += (factor.round() as usize).saturating_sub(1);
+                                    }
+                                    let mut scratch = Vec::new();
+                                    for _ in 0..redo {
+                                        gather_rows_into(rows, indices, &mut scratch);
+                                    }
+                                    if backoff > 0.0 {
+                                        std::thread::sleep(Duration::from_secs_f64(backoff));
+                                    }
+                                }
                                 buf
                             });
                             if let (Some(log), Some(s)) = (spans, span_start) {
@@ -334,6 +428,26 @@ impl ThreadedBackend {
                         while let Ok(mut items) = req_rx.recv() {
                             let span_start = spans.map(SpanLog::now);
                             timer.time(|| {
+                                if let Some(fp) = fault {
+                                    if let Some(attempts) =
+                                        fp.transient_attempts(OpKind::CpuAdamUpdate)
+                                    {
+                                        // Failed attempts run the update math
+                                        // on clones — real work, discarded
+                                        // results — then back off.
+                                        for _ in 0..attempts {
+                                            let mut retry_items = items.clone();
+                                            compute_packed_chunked(
+                                                &adam_config,
+                                                &mut retry_items,
+                                                adam_threads,
+                                            );
+                                        }
+                                        std::thread::sleep(Duration::from_secs_f64(
+                                            fp.retry().total_backoff(attempts),
+                                        ));
+                                    }
+                                }
                                 compute_packed_chunked(&adam_config, &mut items, adam_threads)
                             });
                             if let (Some(log), Some(s)) = (spans, span_start) {
@@ -385,10 +499,7 @@ impl ThreadedBackend {
                 let staged: Vec<StagingBuffer> = match &gather {
                     Some(lane) => (0..round)
                         .map(|r| {
-                            let (j, buf) = lane
-                                .completions
-                                .recv()
-                                .expect("gather lane must outlive the batch");
+                            let (j, buf) = recv_completion(&lane.completions, fault, "gather");
                             debug_assert_eq!(j, i + r, "gathers complete in issue order");
                             buf
                         })
@@ -521,6 +632,10 @@ impl ThreadedBackend {
                 .observe(self.config.policy, comm, compute_seconds);
         }
 
+        let faults = match (&self.fault_plan, fault_before) {
+            (Some(p), Some(before)) => p.stats().since(&before),
+            _ => Default::default(),
+        };
         ExecutionReport {
             batch,
             views: cameras.len(),
@@ -535,6 +650,7 @@ impl ThreadedBackend {
             device_lanes: Vec::new(),
             sim_makespan: None,
             resize: plan.resize.as_ref().map(|e| e.report()),
+            faults,
         }
     }
 
@@ -542,6 +658,42 @@ impl ThreadedBackend {
     /// trajectory order), returning the per-batch reports.
     pub fn run_epoch(&mut self, dataset: &Dataset, targets: &[Image]) -> Vec<ExecutionReport> {
         ExecutionBackend::execute_epoch(self, dataset, targets)
+    }
+}
+
+/// Waits for one lane completion under the installed fault plan's timeout
+/// policy: each real recv timeout is counted, and a lane that stays silent
+/// past the retry budget aborts the batch with a diagnostic instead of
+/// hanging it.  Without a plan this is a plain blocking wait.
+fn recv_completion<T>(
+    rx: &std::sync::mpsc::Receiver<T>,
+    fault: Option<&FaultPlan>,
+    lane: &str,
+) -> T {
+    let Some(fp) = fault else {
+        return rx
+            .recv()
+            .unwrap_or_else(|_| panic!("{lane} lane must outlive the batch"));
+    };
+    let mut timeouts = 0u32;
+    loop {
+        match rx.recv_timeout(LANE_RECV_TIMEOUT) {
+            Ok(v) => return v,
+            Err(RecvTimeoutError::Timeout) => {
+                fp.note_timeout();
+                timeouts += 1;
+                if timeouts > fp.retry().max_retries {
+                    fp.note_abort();
+                    panic!(
+                        "{lane} lane unresponsive after {timeouts} timeouts of \
+                         {LANE_RECV_TIMEOUT:?} each; aborting the batch"
+                    );
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("{lane} lane must outlive the batch")
+            }
+        }
     }
 }
 

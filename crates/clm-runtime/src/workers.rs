@@ -85,6 +85,25 @@ pub struct RecordedSpan {
     pub microbatch: Option<u32>,
 }
 
+/// The span log's mutex was poisoned: a worker thread panicked while
+/// recording.  The spans recorded up to the panic are internally consistent
+/// (each push is atomic under the lock), so callers may still salvage them
+/// with [`SpanLog::into_timeline`]; this error exists so strict callers can
+/// refuse a partial capture instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanLogError;
+
+impl std::fmt::Display for SpanLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "span log poisoned: a worker panicked while recording; the capture may be partial"
+        )
+    }
+}
+
+impl std::error::Error for SpanLogError {}
+
 /// Measured-span capture for the threaded backend: like [`BusyTimer`] it
 /// is shared by reference between worker threads and the coordinator, but
 /// it keeps each timed interval (with its lane, op kind and annotations)
@@ -92,6 +111,13 @@ pub struct RecordedSpan {
 /// laid out on a [`Timeline`] and fed to the trace pipeline.  A mutex is
 /// fine here: the threaded backend records tens of spans per batch, each
 /// bracketing milliseconds of work.
+///
+/// A worker panic poisons the mutex, but the vector under it is always one
+/// atomic push away from consistent — so every accessor recovers the lock
+/// instead of cascading the panic into the coordinator,
+/// [`poisoned`](Self::poisoned) reports that it happened, and
+/// [`try_into_timeline`](Self::try_into_timeline) offers the strict
+/// variant.
 #[derive(Debug)]
 pub struct SpanLog {
     origin: Instant,
@@ -105,6 +131,17 @@ impl SpanLog {
             origin: Instant::now(),
             spans: Mutex::new(Vec::new()),
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<RecordedSpan>> {
+        self.spans.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether a worker panicked while holding the span lock.  Recording
+    /// keeps working afterwards; strict consumers should switch to
+    /// [`try_into_timeline`](Self::try_into_timeline).
+    pub fn poisoned(&self) -> bool {
+        self.spans.is_poisoned()
     }
 
     /// Seconds since the log's origin.
@@ -139,23 +176,20 @@ impl SpanLog {
         rows: u64,
         microbatch: Option<u32>,
     ) {
-        self.spans
-            .lock()
-            .expect("span log poisoned")
-            .push(RecordedSpan {
-                kind,
-                lane,
-                start,
-                end,
-                bytes,
-                rows,
-                microbatch,
-            });
+        self.lock().push(RecordedSpan {
+            kind,
+            lane,
+            start,
+            end,
+            bytes,
+            rows,
+            microbatch,
+        });
     }
 
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
-        self.spans.lock().expect("span log poisoned").len()
+        self.lock().len()
     }
 
     /// Whether no spans have been recorded.
@@ -165,29 +199,46 @@ impl SpanLog {
 
     /// Lays the recorded spans out on a measurement [`Timeline`], sorted by
     /// start time (concurrent workers interleave their records in lock
-    /// order, not time order).
+    /// order, not time order).  A poisoned log is salvaged: the spans
+    /// recorded before the worker panic are laid out as usual — use
+    /// [`try_into_timeline`](Self::try_into_timeline) to refuse partial
+    /// captures instead.
     pub fn into_timeline(self) -> Timeline {
-        let mut spans = self.spans.into_inner().expect("span log poisoned");
-        spans.sort_by(|a, b| {
-            a.start
-                .partial_cmp(&b.start)
-                .expect("span clocks are finite")
-                .then(a.end.partial_cmp(&b.end).expect("span clocks are finite"))
-        });
-        let mut timeline = Timeline::new();
-        for s in spans {
-            timeline.push_span(
-                s.kind,
-                s.lane,
-                s.start,
-                s.end,
-                s.bytes,
-                s.rows,
-                s.microbatch,
-            );
-        }
-        timeline
+        spans_to_timeline(self.spans.into_inner().unwrap_or_else(|p| p.into_inner()))
     }
+
+    /// Strict variant of [`into_timeline`](Self::into_timeline): errors if
+    /// a worker panicked while recording (the capture may be missing the
+    /// spans after the panic).
+    pub fn try_into_timeline(self) -> Result<Timeline, SpanLogError> {
+        self.spans
+            .into_inner()
+            .map(spans_to_timeline)
+            .map_err(|_| SpanLogError)
+    }
+}
+
+/// Sorts measured spans by start time and lays them out on a [`Timeline`].
+fn spans_to_timeline(mut spans: Vec<RecordedSpan>) -> Timeline {
+    spans.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .expect("span clocks are finite")
+            .then(a.end.partial_cmp(&b.end).expect("span clocks are finite"))
+    });
+    let mut timeline = Timeline::new();
+    for s in spans {
+        timeline.push_span(
+            s.kind,
+            s.lane,
+            s.start,
+            s.end,
+            s.bytes,
+            s.rows,
+            s.microbatch,
+        );
+    }
+    timeline
 }
 
 impl Default for SpanLog {
@@ -339,6 +390,47 @@ mod tests {
         let load = ops.iter().find(|o| o.kind == OpKind::LoadParams).unwrap();
         assert_eq!((load.bytes, load.rows, load.microbatch), (128, 4, Some(0)));
         assert!(load.deps.is_empty(), "measured spans carry no edges");
+    }
+
+    /// Builds a log with one span whose mutex a "worker" then poisons by
+    /// panicking while holding the lock.
+    fn poisoned_log_with_one_span() -> SpanLog {
+        let log = SpanLog::new();
+        log.record(OpKind::Forward, Lane::GpuCompute, 0.0, 1.0, 0, 1, None);
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = log.spans.lock().unwrap();
+                    panic!("worker dies mid-record");
+                })
+                .join()
+        });
+        assert!(log.poisoned());
+        log
+    }
+
+    #[test]
+    fn poisoned_span_log_recovers_instead_of_cascading() {
+        let log = poisoned_log_with_one_span();
+        // Recording and reading keep working — no unwrap-crash on the
+        // coordinator path.
+        log.record(OpKind::Backward, Lane::GpuCompute, 1.0, 2.0, 0, 2, None);
+        assert_eq!(log.len(), 2);
+        // The lossy path salvages everything recorded so far.
+        let timeline = log.into_timeline();
+        assert_eq!(timeline.ops().len(), 2);
+    }
+
+    #[test]
+    fn strict_timeline_conversion_reports_poisoning_as_typed_error() {
+        let healthy = SpanLog::new();
+        healthy.record(OpKind::Forward, Lane::GpuCompute, 0.0, 1.0, 0, 1, None);
+        assert!(!healthy.poisoned());
+        assert!(healthy.try_into_timeline().is_ok());
+
+        let poisoned = poisoned_log_with_one_span();
+        assert_eq!(poisoned.try_into_timeline().err(), Some(SpanLogError));
+        assert!(!SpanLogError.to_string().is_empty());
     }
 
     #[test]

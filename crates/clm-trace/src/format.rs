@@ -460,7 +460,7 @@ fn narrow_u32(v: u64, what: &'static str) -> Result<u32, TraceError> {
 }
 
 /// FNV-1a 64-bit hash.
-fn fnv1a(data: &[u8]) -> u64 {
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
         h ^= u64::from(b);

@@ -19,15 +19,22 @@
 //! * [`report`] — aggregates a trace into per-lane utilisation, per-device
 //!   rollups, per-kind duration histograms and a critical-path summary;
 //!   exports Chrome-trace JSON for Perfetto.
+//! * [`mod@checkpoint`] — the `.clmckpt` container: a versioned, checksummed
+//!   batch-boundary snapshot of training state (model rows, full Adam
+//!   moments, offload counters, warm-start ratio and the batch cursor)
+//!   whose restore continues training bit-identically to the uninterrupted
+//!   run.
 //!
 //! The `clm-bench` binaries `trace_record`, `trace_replay` and
 //! `trace_report` drive these modules from the command line.
 
+pub mod checkpoint;
 pub mod format;
 pub mod replay;
 pub mod report;
 pub mod varint;
 
+pub use checkpoint::{Checkpoint, CkptError, CKPT_MAGIC, CKPT_VERSION};
 pub use format::{
     CostParams, Trace, TraceError, TraceEvent, TraceMeta, TraceWriter, FORMAT_VERSION,
 };

@@ -113,6 +113,19 @@ impl MomentRow {
     }
 }
 
+/// One Gaussian's exported Adam state — the checkpointable view of a moment
+/// row.  Same flat layout as the internal state, so export → restore is a
+/// pure copy and restored optimisers continue bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamRowState {
+    /// First-moment row, in [`param_row`](GaussianModel::param_row) layout.
+    pub m: [f32; PARAMS_PER_GAUSSIAN],
+    /// Second-moment row.
+    pub v: [f32; PARAMS_PER_GAUSSIAN],
+    /// Per-Gaussian step counter.
+    pub step: u64,
+}
+
 /// One Gaussian's worth of Adam work, fully self-contained so it can be
 /// computed on any thread: the parameter row, its gradient, the moment
 /// estimates and the step counter (already incremented for this update).
@@ -396,6 +409,34 @@ impl GaussianAdam {
     /// Number of Adam steps Gaussian `index` has received so far.
     pub fn step_count(&self, index: u32) -> u64 {
         self.rows.get(index as usize).map(|r| r.step).unwrap_or(0)
+    }
+
+    /// Exports every moment row for checkpointing (pure copies).
+    pub fn export_rows(&self) -> Vec<AdamRowState> {
+        self.rows
+            .iter()
+            .map(|r| AdamRowState {
+                m: r.m,
+                v: r.v,
+                step: r.step,
+            })
+            .collect()
+    }
+
+    /// Rebuilds an optimiser from exported rows; the inverse of
+    /// [`export_rows`](Self::export_rows).
+    pub fn from_rows(config: AdamConfig, rows: Vec<AdamRowState>) -> Self {
+        GaussianAdam {
+            config,
+            rows: rows
+                .into_iter()
+                .map(|r| MomentRow {
+                    m: r.m,
+                    v: r.v,
+                    step: r.step,
+                })
+                .collect(),
+        }
     }
 }
 

@@ -30,5 +30,7 @@
 pub mod adam;
 pub mod gradients;
 
-pub use adam::{compute_packed, compute_packed_chunked, AdamConfig, AdamWorkItem, GaussianAdam};
+pub use adam::{
+    compute_packed, compute_packed_chunked, AdamConfig, AdamRowState, AdamWorkItem, GaussianAdam,
+};
 pub use gradients::GradientBuffer;

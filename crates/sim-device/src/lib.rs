@@ -33,11 +33,16 @@
 //! ```
 
 pub mod device;
+pub mod fault;
 pub mod memory;
 pub mod metrics;
 pub mod timeline;
 
 pub use device::{DeviceProfile, GIB};
+pub use fault::{
+    DeviceLossSpec, ExhaustionSpec, FaultPlan, FaultSink, FaultSpec, FaultStats, OpFault,
+    RetryPolicy, StragglerSpec,
+};
 pub use memory::{AllocationId, MemoryCategory, MemoryPool, OutOfMemory};
 pub use metrics::{
     gpu_idle_rate_cdf, hardware_utilization, mean_gpu_utilization, HardwareUtilization,

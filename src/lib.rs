@@ -12,9 +12,12 @@
 //! * [`clm_core`] — the CLM offloading system and the baseline trainers.
 //! * [`clm_runtime`] — pipelined discrete-event execution engine running the
 //!   trainers on the simulated device timeline.
+//! * [`clm_trace`] — op-trace capture/replay containers and the `.clmckpt`
+//!   checkpoint format.
 
 pub use clm_core;
 pub use clm_runtime;
+pub use clm_trace;
 pub use gs_core;
 pub use gs_optim;
 pub use gs_render;

@@ -9,6 +9,7 @@
 //! `CONFORMANCE_DEVICES` narrowing the sharded legs to the matrix's device
 //! count.
 
+mod chaos;
 mod harness;
 
 use clm_repro::clm_core::SystemKind;
