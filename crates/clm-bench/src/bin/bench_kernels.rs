@@ -1,0 +1,125 @@
+//! Per-kernel throughput benchmark binary.
+//!
+//! Measures rows-per-second throughput of the four lane-staged hot kernels
+//! — the packed Adam step, the forward and backward rasteriser passes, and
+//! per-Gaussian projection — and emits the measurements as single-line JSON
+//! to stdout **and** to `BENCH_kernels.json` (override with `--out <path>`).
+//! The same four measurements also ride inside `BENCH_runtime.json` as its
+//! `kernels` section (see `bench_runtime`); this binary is the fast path
+//! that re-measures only the kernels.
+//!
+//! Flags:
+//!
+//! * `--smoke` — run the tiny CI configuration and enforce the smoke gate:
+//!   the written artefact must be well-formed and, on a host with ≥ 2
+//!   cores, every kernel must clear its throughput floor.  On a single-core
+//!   host the chunked Adam path time-slices against its own workers and a
+//!   loaded runner distorts every number, so only the artefact shape is
+//!   gated there.
+//! * `--compute-threads <n>` — workers for the chunked Adam and banded
+//!   render paths (default: the host's detected parallelism).
+//! * `--out <path>` — where to write the JSON artefact.
+
+use clm_bench::kernels::{looks_like_kernel_json, run_kernel_bench, KernelScale};
+use std::process::ExitCode;
+
+/// Throughput floors (rows/s) enforced by the smoke gate on hosts with at
+/// least [`FLOOR_MIN_CORES`] cores.  Deliberately 1–2 orders of magnitude
+/// below what the lane-staged kernels reach on one modern core, so the gate
+/// catches layout regressions (an accidental de-vectorisation, a
+/// per-element copy creeping back into the staging path) without flaking on
+/// slow or shared runners.
+const FLOORS: [(&str, f64); 4] = [
+    ("adam_step", 50_000.0),
+    ("raster_forward", 5_000.0),
+    ("raster_backward", 2_500.0),
+    ("projection", 100_000.0),
+];
+
+/// Core count below which the floors are informational only.
+const FLOOR_MIN_CORES: usize = 2;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let compute_threads = match args.iter().position(|a| a == "--compute-threads") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => n,
+            _ => {
+                eprintln!(
+                    "bench_kernels: --compute-threads needs a positive integer, got {}",
+                    args.get(i + 1).map(String::as_str).unwrap_or("<missing>")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 0, // auto-detect
+    };
+
+    let mut scale = if smoke {
+        KernelScale::smoke()
+    } else {
+        KernelScale::full()
+    };
+    scale.compute_threads = compute_threads;
+    let bench = run_kernel_bench(scale);
+    let json = bench.to_json();
+    println!("{json}");
+
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("bench_kernels: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if smoke {
+        // Gate 1: the artefact on disk must be a well-formed single-line
+        // JSON object carrying every kernel.
+        let written = match std::fs::read_to_string(&out_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_kernels: cannot re-read {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !looks_like_kernel_json(&written) {
+            eprintln!("bench_kernels: FAIL — {out_path} is malformed: {written}");
+            return ExitCode::FAILURE;
+        }
+        // Gate 2: throughput floors, only where the numbers mean something.
+        if bench.host_cores >= FLOOR_MIN_CORES {
+            for (name, floor) in FLOORS {
+                let measured = bench.kernel(name).rows_per_s;
+                if measured < floor {
+                    eprintln!(
+                        "bench_kernels: FAIL — {name} reached only {measured:.0} rows/s \
+                         (floor: {floor:.0} on {} cores)",
+                        bench.host_cores,
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            eprintln!(
+                "bench_kernels: single-core host — throughput floors skipped \
+                 (artefact shape still gated)"
+            );
+        }
+        let summary = bench
+            .kernels
+            .iter()
+            .map(|k| format!("{} = {:.0} rows/s", k.name, k.rows_per_s))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "bench_kernels: smoke gate passed ({summary}, threads = {}, cores = {})",
+            bench.compute_threads, bench.host_cores,
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,391 @@
+//! Per-kernel throughput microbenchmarks for the lane-staged hot paths.
+//!
+//! The wall-clock benchmark ([`crate::wallclock`]) measures whole training
+//! runs, where scheduling, staging and coordination all blend into one
+//! number.  This module isolates the four kernels the AoSoA layout work
+//! targets and reports each one's **rows-per-second throughput** — the
+//! number a data-layout regression moves directly:
+//!
+//! * `adam_step` — the shared lane-kernel Adam update
+//!   ([`gs_optim::compute_packed_chunked`]) over packed work items; a row is
+//!   one Gaussian's 59-parameter update.
+//! * `raster_forward` — the banded forward rasteriser ([`gs_render::render`]);
+//!   a row is one depth-sorted splat that survived projection.
+//! * `raster_backward` — the banded backward pass
+//!   ([`gs_render::render_backward`]); same row unit.
+//! * `projection` — per-Gaussian EWA projection
+//!   ([`gs_render::project_gaussian`]); a row is one candidate Gaussian.
+//!
+//! The artefact appears twice: standalone (`bench_kernels` →
+//! `BENCH_kernels.json`) and embedded as the `kernels` section of
+//! `BENCH_runtime.json`, so the CI gate can validate both from one schema.
+//! Throughput floors are enforced by the `bench_kernels` binary only on
+//! hosts with ≥ 2 cores — a loaded single-core runner time-slices the
+//! chunked Adam path against its own workers, which makes floor numbers
+//! meaningless there.
+
+use crate::wallclock::{bench_scene, detect_host_cores, WallclockScale};
+use gs_core::gaussian::GaussianModel;
+use gs_core::PARAMS_PER_GAUSSIAN;
+use gs_optim::{compute_packed_chunked, AdamConfig, AdamWorkItem};
+use gs_render::{project_gaussian, render, render_backward, RenderOptions};
+use gs_scene::Dataset;
+use std::time::Instant;
+
+/// Workload of one kernel-benchmark run.
+#[derive(Debug, Clone)]
+pub struct KernelScale {
+    /// Label reported in the JSON (`"smoke"`, `"full"`, …).
+    pub label: &'static str,
+    /// Gaussians in the benchmarked model.
+    pub gaussians: usize,
+    /// Render resolution.
+    pub width: u32,
+    /// Render resolution.
+    pub height: u32,
+    /// Timed repetitions of the Adam step over the whole model.
+    pub adam_iters: usize,
+    /// Timed repetitions of the forward and backward render.
+    pub render_iters: usize,
+    /// Timed repetitions of projecting the whole model.
+    pub projection_iters: usize,
+    /// Workers for the chunked Adam and banded render paths
+    /// (0 = auto-detect the host's available parallelism).
+    pub compute_threads: usize,
+}
+
+impl KernelScale {
+    /// Tiny configuration for CI smoke runs and unit tests.
+    pub fn smoke() -> Self {
+        KernelScale {
+            label: "smoke",
+            gaussians: 420,
+            width: 80,
+            height: 64,
+            adam_iters: 40,
+            render_iters: 6,
+            projection_iters: 40,
+            compute_threads: 0,
+        }
+    }
+
+    /// The default benchmark configuration.
+    pub fn full() -> Self {
+        KernelScale {
+            label: "full",
+            gaussians: 1_400,
+            width: 128,
+            height: 96,
+            adam_iters: 120,
+            render_iters: 16,
+            projection_iters: 120,
+            compute_threads: 0,
+        }
+    }
+
+    /// Minimal configuration for unit tests.
+    pub fn test() -> Self {
+        KernelScale {
+            label: "test",
+            gaussians: 80,
+            width: 32,
+            height: 24,
+            adam_iters: 2,
+            render_iters: 1,
+            projection_iters: 2,
+            compute_threads: 2,
+        }
+    }
+
+    /// The worker count the chunked paths actually use.
+    pub fn effective_compute_threads(&self) -> usize {
+        if self.compute_threads > 0 {
+            self.compute_threads
+        } else {
+            detect_host_cores()
+        }
+    }
+}
+
+/// One kernel's measured throughput.
+#[derive(Debug, Clone)]
+pub struct KernelMeasurement {
+    /// Kernel identifier (`adam_step` / `raster_forward` / `raster_backward`
+    /// / `projection`).
+    pub name: &'static str,
+    /// Rows processed across all timed iterations.
+    pub rows: u64,
+    /// Measured wall-clock seconds for all timed iterations.
+    pub wall_seconds: f64,
+    /// Rows processed per wall-clock second.
+    pub rows_per_s: f64,
+}
+
+impl KernelMeasurement {
+    fn json(&self) -> String {
+        format!(
+            "\"{}\":{{\"rows\":{},\"wall_s\":{:.6},\"rows_per_s\":{:.1}}}",
+            self.name, self.rows, self.wall_seconds, self.rows_per_s,
+        )
+    }
+}
+
+/// Complete result of one kernel-benchmark run.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// The workload label that ran.
+    pub label: &'static str,
+    /// Host cores detected at run time.
+    pub host_cores: usize,
+    /// Workers the chunked paths ran with.
+    pub compute_threads: usize,
+    /// Measurements in `[adam_step, raster_forward, raster_backward,
+    /// projection]` order.
+    pub kernels: Vec<KernelMeasurement>,
+}
+
+/// Kernel names in artefact order.
+pub const KERNEL_NAMES: [&str; 4] = [
+    "adam_step",
+    "raster_forward",
+    "raster_backward",
+    "projection",
+];
+
+impl KernelBench {
+    /// The measurement of one kernel by name.
+    pub fn kernel(&self, name: &str) -> &KernelMeasurement {
+        self.kernels
+            .iter()
+            .find(|k| k.name == name)
+            .unwrap_or_else(|| panic!("no kernel named {name}"))
+    }
+
+    /// The `{"adam_step":{...},...}` object embedded as the `kernels`
+    /// section of `BENCH_runtime.json`.
+    pub fn section_json(&self) -> String {
+        let body = self
+            .kernels
+            .iter()
+            .map(KernelMeasurement::json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{{body}}}")
+    }
+
+    /// Serialises the standalone artefact as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"kernels\",\"scale\":\"{}\",\"host_cores\":{},\
+             \"compute_threads\":{},\"kernels\":{}}}",
+            self.label,
+            self.host_cores,
+            self.compute_threads,
+            self.section_json(),
+        )
+    }
+}
+
+/// Builds the packed Adam workload: one work item per Gaussian, parameters
+/// from the model, synthetic-but-varied gradients and warm moments, and
+/// per-item step counters (sparse updates age rows unevenly, so the lane
+/// kernel's per-lane bias corrections are on the measured path).
+fn adam_items(model: &GaussianModel) -> Vec<AdamWorkItem> {
+    (0..model.len())
+        .map(|i| {
+            let mut item = AdamWorkItem {
+                index: i as u32,
+                step: 1 + (i % 7) as u64,
+                params: model.param_row(i),
+                grad: [0.0; PARAMS_PER_GAUSSIAN],
+                m: [0.0; PARAMS_PER_GAUSSIAN],
+                v: [0.0; PARAMS_PER_GAUSSIAN],
+            };
+            for k in 0..PARAMS_PER_GAUSSIAN {
+                let x = (i * PARAMS_PER_GAUSSIAN + k) as f32;
+                item.grad[k] = 1.0e-3 * (x * 0.37 - 11.0);
+                item.m[k] = 1.0e-4 * x;
+                item.v[k] = 1.0e-6 * x;
+            }
+            item
+        })
+        .collect()
+}
+
+fn measurement(name: &'static str, rows: u64, wall_seconds: f64) -> KernelMeasurement {
+    KernelMeasurement {
+        name,
+        rows,
+        wall_seconds,
+        rows_per_s: if wall_seconds > 0.0 {
+            rows as f64 / wall_seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+fn kernel_scene(scale: &KernelScale) -> (Dataset, GaussianModel) {
+    let (dataset, _targets, init) = bench_scene(&WallclockScale {
+        label: "kernels",
+        scene_gaussians: scale.gaussians * 2,
+        model_gaussians: scale.gaussians,
+        views: 2,
+        width: scale.width,
+        height: scale.height,
+        batch_size: 1,
+        epochs: 1,
+        prefetch_window: 0,
+        compute_threads: scale.compute_threads,
+        devices: 1,
+        densify_every: 0,
+    });
+    (dataset, init)
+}
+
+/// Runs the four kernel microbenchmarks at the given scale.
+pub fn run_kernel_bench(scale: KernelScale) -> KernelBench {
+    let threads = scale.effective_compute_threads();
+    let (dataset, model) = kernel_scene(&scale);
+    let camera = &dataset.cameras[0];
+    let config = AdamConfig::default();
+
+    // adam_step — warm up once (untimed), then time the chunked path over
+    // the whole model.  Items are updated in place across iterations, so
+    // later steps run on evolved moments rather than replaying step 1.
+    let mut items = adam_items(&model);
+    compute_packed_chunked(&config, &mut items, threads);
+    let start = Instant::now();
+    for _ in 0..scale.adam_iters {
+        compute_packed_chunked(&config, &mut items, threads);
+    }
+    let adam = measurement(
+        "adam_step",
+        (items.len() * scale.adam_iters) as u64,
+        start.elapsed().as_secs_f64(),
+    );
+
+    // raster_forward — the banded lane-staged forward render; a row is one
+    // splat that survived projection (the rows the tile loops walk).
+    let options = RenderOptions {
+        compute_threads: threads,
+        ..Default::default()
+    };
+    let warm = render(&model, camera, &options);
+    let splats = warm.aux.projected_count() as u64;
+    let start = Instant::now();
+    let mut out = warm;
+    for _ in 0..scale.render_iters {
+        out = render(&model, camera, &options);
+    }
+    let forward = measurement(
+        "raster_forward",
+        splats * scale.render_iters as u64,
+        start.elapsed().as_secs_f64(),
+    );
+
+    // raster_backward — the banded backward pass over the same aux, driven
+    // by a non-uniform image gradient so every band does real work.
+    let d_image: Vec<[f32; 3]> = (0..(scale.width * scale.height) as usize)
+        .map(|p| {
+            let v = 1.0e-3 * ((p % 11) as f32 - 5.0);
+            [v, -v, 0.5 * v]
+        })
+        .collect();
+    render_backward(&model, camera, &out.aux, &d_image);
+    let start = Instant::now();
+    for _ in 0..scale.render_iters {
+        render_backward(&model, camera, &out.aux, &d_image);
+    }
+    let backward = measurement(
+        "raster_backward",
+        splats * scale.render_iters as u64,
+        start.elapsed().as_secs_f64(),
+    );
+
+    // projection — per-Gaussian EWA projection of the whole model; a row is
+    // one candidate (culled or not: both exercise the kernel).
+    for i in 0..model.len() {
+        std::hint::black_box(project_gaussian(&model.get(i), i as u32, camera));
+    }
+    let start = Instant::now();
+    for _ in 0..scale.projection_iters {
+        for i in 0..model.len() {
+            std::hint::black_box(project_gaussian(&model.get(i), i as u32, camera));
+        }
+    }
+    let projection = measurement(
+        "projection",
+        (model.len() * scale.projection_iters) as u64,
+        start.elapsed().as_secs_f64(),
+    );
+
+    KernelBench {
+        label: scale.label,
+        host_cores: detect_host_cores(),
+        compute_threads: threads,
+        kernels: vec![adam, forward, backward, projection],
+    }
+}
+
+/// Cheap structural check that a standalone kernel artefact is a plausible
+/// single-line JSON object with every per-kernel key.  (Dependency-free, so
+/// a shape check rather than a parser — same convention as
+/// [`crate::wallclock::looks_like_bench_json`].)
+pub fn looks_like_kernel_json(s: &str) -> bool {
+    let t = s.trim();
+    !t.contains('\n')
+        && t.starts_with('{')
+        && t.ends_with('}')
+        && t.contains("\"bench\":\"kernels\"")
+        && t.contains("\"host_cores\":")
+        && t.contains("\"kernels\":{")
+        && KERNEL_NAMES.iter().all(|name| {
+            t.contains(&format!("\"{name}\":{{\"rows\":"))
+                && t.contains("\"rows_per_s\":")
+                && t.contains("\"wall_s\":")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_bench_runs_and_serialises() {
+        let bench = run_kernel_bench(KernelScale::test());
+        assert_eq!(bench.kernels.len(), 4);
+        for name in KERNEL_NAMES {
+            let k = bench.kernel(name);
+            assert!(k.rows > 0, "{name}");
+            assert!(k.wall_seconds > 0.0, "{name}");
+            assert!(k.rows_per_s > 0.0, "{name}");
+        }
+        // Row accounting: the Adam step walks every Gaussian each iteration,
+        // and both raster passes walk the same surviving-splat rows.
+        assert_eq!(bench.kernel("adam_step").rows, 80 * 2);
+        assert_eq!(
+            bench.kernel("raster_forward").rows,
+            bench.kernel("raster_backward").rows
+        );
+        assert_eq!(bench.kernel("projection").rows, 80 * 2);
+        assert_eq!(bench.compute_threads, 2);
+        let json = bench.to_json();
+        assert!(looks_like_kernel_json(&json), "malformed: {json}");
+        // The embeddable section is the `kernels` object of the standalone
+        // artefact, byte for byte.
+        assert!(json.ends_with(&format!("\"kernels\":{}}}", bench.section_json())));
+    }
+
+    #[test]
+    fn kernel_json_shape_check_rejects_junk() {
+        assert!(!looks_like_kernel_json(""));
+        assert!(!looks_like_kernel_json("{\"bench\":\"kernels\"}"));
+        assert!(!looks_like_kernel_json("{\"bench\":\"runtime_wallclock\"}"));
+        // A section missing one kernel is rejected.
+        assert!(!looks_like_kernel_json(
+            "{\"bench\":\"kernels\",\"host_cores\":1,\"kernels\":{\
+             \"adam_step\":{\"rows\":1,\"wall_s\":0.1,\"rows_per_s\":10.0}}}"
+        ));
+    }
+}

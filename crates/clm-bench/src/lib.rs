@@ -11,11 +11,15 @@
 //! fall — are the reproduction target, recorded in `EXPERIMENTS.md`.
 
 pub mod chaos;
+pub mod kernels;
 pub mod runtime_reports;
 pub mod trace;
 pub mod wallclock;
 
 pub use chaos::{looks_like_chaos_json, run_chaos_bench, ChaosBench, ChaosScale};
+pub use kernels::{
+    looks_like_kernel_json, run_kernel_bench, KernelBench, KernelScale, KERNEL_NAMES,
+};
 pub use runtime_reports::{
     runtime_summary_figure11, runtime_summary_figure12, runtime_summary_figure13,
     runtime_summary_figure15, runtime_summary_table7,

@@ -321,6 +321,10 @@ pub struct WallclockBench {
     /// Measurements in `[synchronous, simulated, threaded,
     /// threaded_parallel, sharded]` order.
     pub backends: Vec<BackendMeasurement>,
+    /// Per-kernel throughput microbenchmarks (`adam_step`,
+    /// `raster_forward`, `raster_backward`, `projection`), embedded so one
+    /// artefact carries both end-to-end and per-kernel numbers.
+    pub kernels: crate::kernels::KernelBench,
     /// Whether all five final models were bit-identical.
     pub numerics_match: bool,
     /// The shard-count invariance gate: whether the sharded engine's final
@@ -402,6 +406,7 @@ impl WallclockBench {
              \"views_per_epoch\":{},\"epochs\":{},\"batch_size\":{},\"prefetch_window\":{},\
              \"model_gaussians\":{},\"resolution\":\"{}x{}\",\
              \"backends\":[{}],\
+             \"kernels\":{},\
              \"speedup_threaded_vs_sync\":{:.3},\"speedup_threaded_vs_simulated\":{:.3},\
              \"speedup_parallel_vs_sync\":{:.3},\
              \"compute_speedup_parallel_vs_serial\":{:.3},\
@@ -419,6 +424,7 @@ impl WallclockBench {
             self.scale.width,
             self.scale.height,
             backends,
+            self.kernels.section_json(),
             self.speedup_threaded_vs_sync(),
             self.speedup_threaded_vs_simulated(),
             self.speedup_parallel_vs_sync(),
@@ -680,6 +686,15 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
         && sync.model() == parallel.trainer().model()
         && sharded_bit_identical;
 
+    // Per-kernel throughput, matched to the end-to-end workload tier.
+    let mut kernel_scale = match scale.label {
+        "full" => crate::kernels::KernelScale::full(),
+        "test" => crate::kernels::KernelScale::test(),
+        _ => crate::kernels::KernelScale::smoke(),
+    };
+    kernel_scale.compute_threads = scale.compute_threads;
+    let kernels = crate::kernels::run_kernel_bench(kernel_scale);
+
     WallclockBench {
         scale,
         host_cores: detect_host_cores(),
@@ -692,6 +707,7 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
             par_measure,
             shard_measure,
         ],
+        kernels,
         numerics_match,
         sharded_bit_identical,
     }
@@ -738,6 +754,10 @@ pub fn looks_like_bench_json(s: &str) -> bool {
         && t.contains("\"sharded_bit_identical\":")
         && t.contains("\"resize_events\":")
         && t.contains("\"post_resize_throughput_delta\":")
+        && t.contains("\"kernels\":{")
+        && crate::kernels::KERNEL_NAMES
+            .iter()
+            .all(|name| t.contains(&format!("\"{name}\":{{\"rows\":")))
 }
 
 #[cfg(test)]
@@ -764,6 +784,12 @@ mod tests {
         assert_eq!(bench.backend("threaded_parallel").compute_threads, 2);
         let json = bench.to_json();
         assert!(looks_like_bench_json(&json), "malformed: {json}");
+        // The embedded kernel section measured all four kernels.
+        assert_eq!(bench.kernels.kernels.len(), 4);
+        for name in crate::kernels::KERNEL_NAMES {
+            assert!(bench.kernels.kernel(name).rows_per_s > 0.0, "{name}");
+        }
+        assert!(json.contains(&format!("\"kernels\":{}", bench.kernels.section_json())));
         assert!(json.contains("\"numerics_match\":true"));
         assert!(json.contains("\"sharded_bit_identical\":true"));
         // The single-core caveat is present exactly when the host cannot
@@ -866,5 +892,27 @@ mod tests {
             "{\"bench\":\"runtime_wallclock\",\"speedup_threaded_vs_sync\":1.0,\
              \"compute_speedup_parallel_vs_serial\":1.0,\"numerics_match\":true}"
         ));
+        // And the pre-kernel-section shape: a current artefact must carry
+        // per-kernel throughput for all four kernels.
+        let mut no_kernels = run_kernel_free_fixture();
+        assert!(!looks_like_bench_json(&no_kernels));
+        no_kernels = no_kernels.replace(
+            "\"kernels\":{}",
+            "\"kernels\":{\"adam_step\":{\"rows\":1,\"wall_s\":0.1,\"rows_per_s\":10.0},\
+             \"raster_forward\":{\"rows\":1,\"wall_s\":0.1,\"rows_per_s\":10.0},\
+             \"raster_backward\":{\"rows\":1,\"wall_s\":0.1,\"rows_per_s\":10.0},\
+             \"projection\":{\"rows\":1,\"wall_s\":0.1,\"rows_per_s\":10.0}}",
+        );
+        assert!(looks_like_bench_json(&no_kernels));
+    }
+
+    /// A structurally-complete artefact except for an empty `kernels`
+    /// section — the stale shape the gate must reject.
+    fn run_kernel_free_fixture() -> String {
+        "{\"bench\":\"runtime_wallclock\",\"perf_note\":null,\"devices\":1,\
+         \"speedup_threaded_vs_sync\":1.0,\"compute_speedup_parallel_vs_serial\":1.0,\
+         \"numerics_match\":true,\"sharded_bit_identical\":true,\"resize_events\":0,\
+         \"post_resize_throughput_delta\":0.0,\"name\":\"sharded\",\"kernels\":{}}"
+            .to_string()
     }
 }

@@ -205,8 +205,14 @@ mod tests {
                 window + 1,
                 "window {window} needs window+1 staging buffers"
             );
-            // The second batch runs entirely from recycled buffers.
+            // The second batch runs entirely from recycled buffers, and the
+            // staging paths make zero extra copies: fresh allocations only
+            // ever extended the live frontier.
             assert!(stats.recycled >= 6, "window {window}: {stats:?}");
+            assert_eq!(
+                stats.allocated, stats.high_water_buffers as u64,
+                "window {window} allocated beyond the frontier: {stats:?}"
+            );
         }
     }
 
@@ -393,6 +399,13 @@ mod tests {
                 "window {window} must stay within its buffer budget: {stats:?}"
             );
             assert!(stats.recycled >= 6, "window {window}: {stats:?}");
+            // The gather and packed-Adam paths stage straight from the
+            // lane-chunked layout into pool buffers — zero extra copies, so
+            // no acquire may allocate once the frontier is provisioned.
+            assert_eq!(
+                stats.allocated, stats.high_water_buffers as u64,
+                "window {window} allocated beyond the frontier: {stats:?}"
+            );
         }
     }
 

@@ -376,6 +376,13 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.outstanding, 0);
         assert!(stats.high_water_buffers <= 3, "cap respected: {stats:?}");
+        // Zero extra copies: fresh allocations only ever extend the live
+        // frontier, so their count can never exceed the high-water mark.
+        assert!(
+            stats.allocated <= stats.high_water_buffers as u64,
+            "an acquire allocated when a recycled buffer existed: {stats:?}"
+        );
+        assert_eq!(stats.recycled, stats.acquires - stats.allocated);
         assert_eq!(
             stats.denied,
             denied.load(std::sync::atomic::Ordering::Relaxed),
@@ -441,5 +448,14 @@ mod tests {
         );
         assert_eq!(pool.free_buffers(), 2 * per_lane);
         assert!(stats.high_water_bytes >= pool.owned_bytes());
+        // Zero extra copies: the packed Adam path stages straight from the
+        // lane-chunked layout into checked-out buffers, so the only fresh
+        // allocations are the ones that first raised the high-water mark —
+        // every later acquire must be served by recycling.
+        assert_eq!(
+            stats.allocated, stats.high_water_buffers as u64,
+            "extra staging buffers were allocated beyond the live frontier: {stats:?}"
+        );
+        assert_eq!(stats.recycled, stats.acquires - stats.allocated);
     }
 }

@@ -399,6 +399,18 @@ impl GaussianModel {
     /// Panics if `i >= len()`.
     pub fn param_row(&self, i: usize) -> [f32; PARAMS_PER_GAUSSIAN] {
         let mut row = [0.0f32; PARAMS_PER_GAUSSIAN];
+        self.read_param_row_into(i, &mut row);
+        row
+    }
+
+    /// Writes the [`param_row`](Self::param_row) of Gaussian `i` into a
+    /// caller-provided buffer, avoiding a return-value copy on staging
+    /// paths that reuse one scratch row.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn read_param_row_into(&self, i: usize, row: &mut [f32; PARAMS_PER_GAUSSIAN]) {
         let p = self.positions[i];
         let s = self.log_scales[i];
         row[0..3].copy_from_slice(&p.to_array());
@@ -406,7 +418,6 @@ impl GaussianModel {
         row[6..10].copy_from_slice(&self.rotations[i].to_array());
         row[10..10 + SH_FLOATS].copy_from_slice(self.sh_of(i));
         row[PARAMS_PER_GAUSSIAN - 1] = self.opacity_logits[i];
-        row
     }
 
     /// Writes a flat 59-float parameter row (the [`param_row`](Self::param_row)

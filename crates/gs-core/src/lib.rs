@@ -39,6 +39,7 @@ pub mod error;
 pub mod gaussian;
 pub mod math;
 pub mod sh;
+pub mod soa;
 pub mod visibility;
 
 pub use camera::{Camera, CameraExtrinsics, CameraIntrinsics, Frustum, Plane};
@@ -48,6 +49,7 @@ pub use gaussian::{
     AttributeKind, Gaussian, GaussianModel, NON_CRITICAL_FLOATS, PARAMS_PER_GAUSSIAN,
     SELECTION_CRITICAL_FLOATS, SH_COEFFS_PER_CHANNEL, SH_FLOATS, TRAINING_STATE_COPIES,
 };
+pub use soa::{zero_lane_block, LaneBlock, SoaParams, LANE_WIDTH};
 pub use visibility::VisibilitySet;
 
 /// Bytes occupied by one `f32` parameter.

@@ -1,0 +1,167 @@
+//! Property tests for the lane-chunked (AoSoA) parameter store.
+//!
+//! `SoaParams` sits between the row-oriented compatibility seam
+//! (`param_row`/`set_param_row`, which checkpoints and traces round-trip
+//! through) and the lane kernels, so its conversions must be *pure copies*:
+//! bit-identical per attribute, for arbitrary row counts (chunk-boundary
+//! cases included), arbitrary values (negative zero included), and across
+//! the densification resize that renumbers rows mid-epoch.  A single
+//! miscopied lane would silently corrupt training state, so these
+//! properties are checked bit-for-bit, not approximately.
+
+use gs_core::gaussian::{Gaussian, GaussianModel};
+use gs_core::math::Vec3;
+use gs_core::{SoaParams, LANE_WIDTH, PARAMS_PER_GAUSSIAN};
+use proptest::prelude::*;
+
+/// Expands per-row seeds into a full 59-float row.  The expansion mixes the
+/// two sampled seeds with the parameter index so every attribute of every
+/// row is distinct, and flips a few entries to `-0.0` so bit-level identity
+/// (not just numeric equality) is exercised.
+fn rows_from_seeds(seeds: &[(f32, f32)]) -> Vec<[f32; PARAMS_PER_GAUSSIAN]> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| {
+            let mut row = [0.0f32; PARAMS_PER_GAUSSIAN];
+            for (k, p) in row.iter_mut().enumerate() {
+                *p = a + b * (k as f32 + 1.0) - 0.125 * (i as f32);
+                if (i + k) % 17 == 0 {
+                    *p = -0.0;
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// Bit-level row equality: catches sign-of-zero changes `==` would miss.
+fn same_bits(a: &[f32; PARAMS_PER_GAUSSIAN], b: &[f32; PARAMS_PER_GAUSSIAN]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Builds a model of `rows.len()` Gaussians carrying exactly `rows` through
+/// the `set_param_row` seam.
+fn model_from_rows(rows: &[[f32; PARAMS_PER_GAUSSIAN]]) -> GaussianModel {
+    let mut model: GaussianModel = rows
+        .iter()
+        .map(|_| Gaussian::isotropic(Vec3::ZERO, 0.1, [0.5; 3], 0.5))
+        .collect();
+    for (i, row) in rows.iter().enumerate() {
+        model.set_param_row(i, row);
+    }
+    model
+}
+
+proptest! {
+    #[test]
+    fn rows_round_trip_bit_identically(
+        seeds in proptest::collection::vec((-4.0f32..4.0, -2.0f32..2.0), 1..70),
+    ) {
+        let rows = rows_from_seeds(&seeds);
+        let store = SoaParams::from_rows(rows.iter());
+        prop_assert_eq!(store.len(), rows.len());
+        prop_assert_eq!(store.num_chunks(), rows.len().div_ceil(LANE_WIDTH));
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert!(same_bits(&store.row(i), row), "row {i} changed bits");
+        }
+        // Padding lanes of the last chunk hold exact zeros.
+        let last = store.num_chunks() - 1;
+        for lane in store.lanes_in_chunk(last)..LANE_WIDTH {
+            for k in 0..PARAMS_PER_GAUSSIAN {
+                prop_assert_eq!(store.chunk(last)[k][lane].to_bits(), 0u32);
+            }
+        }
+    }
+
+    #[test]
+    fn model_conversion_round_trips_bit_identically(
+        seeds in proptest::collection::vec((-4.0f32..4.0, -2.0f32..2.0), 1..40),
+    ) {
+        let rows = rows_from_seeds(&seeds);
+        let model = model_from_rows(&rows);
+        let store = SoaParams::from_model(&model);
+        for i in 0..model.len() {
+            prop_assert!(
+                same_bits(&store.row(i), &model.param_row(i)),
+                "store/model row {i} disagree"
+            );
+        }
+        // Writing back through the seam restores every attribute exactly.
+        let mut back = model_from_rows(&rows_from_seeds(
+            &seeds.iter().map(|&(a, b)| (a + 1.0, b - 0.5)).collect::<Vec<_>>(),
+        ));
+        store.write_to_model(&mut back);
+        for i in 0..model.len() {
+            prop_assert!(same_bits(&back.param_row(i), &model.param_row(i)));
+        }
+    }
+
+    #[test]
+    fn apply_resize_matches_filter_reference(
+        seeds in proptest::collection::vec((-4.0f32..4.0, -2.0f32..2.0), 1..50),
+        prune_picks in proptest::collection::vec(0usize..50, 0..12),
+        grow in 0usize..20,
+    ) {
+        // Densification boundary: prune a random index set (possibly with
+        // duplicates, in arbitrary order), then grow for the split/clone
+        // appends.  The survivors must slide down in order, bit-identical,
+        // and appended rows must be exact zeros.
+        let rows = rows_from_seeds(&seeds);
+        let mut store = SoaParams::from_rows(rows.iter());
+        let pruned: Vec<u32> = prune_picks
+            .iter()
+            .map(|&p| (p % rows.len()) as u32)
+            .collect();
+        let survivors: Vec<&[f32; PARAMS_PER_GAUSSIAN]> = rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !pruned.contains(&(*i as u32)))
+            .map(|(_, row)| row)
+            .collect();
+        let new_len = survivors.len() + grow;
+        store.apply_resize(&pruned, new_len);
+
+        prop_assert_eq!(store.len(), new_len);
+        for (new_i, row) in survivors.iter().enumerate() {
+            prop_assert!(same_bits(&store.row(new_i), row), "survivor {new_i}");
+        }
+        for i in survivors.len()..new_len {
+            prop_assert!(
+                store.row(i).iter().all(|x| x.to_bits() == 0),
+                "appended row {i} not zero"
+            );
+        }
+        // The padding invariant survives the resize: trailing lanes of the
+        // last chunk (if any) are exact zeros.
+        if store.num_chunks() > 0 {
+            let last = store.num_chunks() - 1;
+            for lane in store.lanes_in_chunk(last)..LANE_WIDTH {
+                for k in 0..PARAMS_PER_GAUSSIAN {
+                    prop_assert_eq!(store.chunk(last)[k][lane].to_bits(), 0u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_preserves_bits_at_any_offset(
+        seeds in proptest::collection::vec((-4.0f32..4.0, -2.0f32..2.0), 1..30),
+        pick in 0usize..30,
+        lane in 0usize..8,
+    ) {
+        // Lane staging is how non-chunk-aligned subsets reach the kernels;
+        // a gather/scatter through any (row, lane) pairing must be a pure
+        // copy.
+        let rows = rows_from_seeds(&seeds);
+        let mut store = SoaParams::from_rows(rows.iter());
+        let i = pick % rows.len();
+        let mut block = gs_core::zero_lane_block();
+        store.gather_lane(i, lane, &mut block);
+        for k in 0..PARAMS_PER_GAUSSIAN {
+            prop_assert_eq!(block[k][lane].to_bits(), rows[i][k].to_bits());
+        }
+        store.scatter_lane(i, lane, &block);
+        prop_assert!(same_bits(&store.row(i), &rows[i]));
+    }
+}

@@ -6,25 +6,39 @@
 //! to the overlapped-CPU-Adam optimisation (§4.2.2) — is able to update any
 //! *subset* of Gaussians as soon as their gradients are final.
 //!
-//! Every update path funnels through one scalar kernel
-//! (`adam_update_row`) over the flat 59-float parameter row layout of
-//! [`GaussianModel::param_row`], so the three drivers are bit-identical by
-//! construction:
+//! Every update path funnels through **one lane kernel**
+//! ([`adam_update_lanes`]) that processes a fixed-width group of Gaussians
+//! parameter-major (`block[param][lane]`): the inner loop touches
+//! [`LANE_WIDTH`] consecutive `f32`s of the same parameter, which the
+//! autovectoriser lowers to SIMD mul/div/sqrt.  The moment state itself
+//! lives in a lane-chunked [`SoaParams`] store, so the dense path streams
+//! whole chunks with no transposition at all.  The three drivers are
+//! bit-identical by construction — each Gaussian's update is elementwise
+//! independent, so grouping rows into lanes is pure scheduling:
 //!
 //! * [`GaussianAdam::step_dense`] / [`GaussianAdam::step_subset`] — the
-//!   in-place sequential path the synchronous trainer uses;
+//!   in-place path the synchronous trainer uses: indices are staged into
+//!   lane blocks in order, updated, and scattered back;
 //! * [`GaussianAdam::pack_subset`] → [`compute_packed`] →
 //!   [`GaussianAdam::apply_packed`] — the shippable path: work items are
 //!   plain `memcpy`able rows, so a dedicated CPU Adam worker thread can run
 //!   the expensive math while the main thread keeps rendering, and the
 //!   results are merged back with cheap copies;
 //! * [`compute_packed_chunked`] — the parallel-chunk path: the packed items
-//!   are split across scoped threads so the CPU Adam lane scales with
-//!   cores.
+//!   are split across the persistent compute pool so the CPU Adam lane
+//!   scales with cores.
+//!
+//! The flat 59-float [`param_row`](GaussianModel::param_row) layout remains
+//! the compatibility seam: work items, checkpoint exports
+//! ([`AdamRowState`]) and pinned-row staging are all row-shaped on the wire;
+//! only the resident moment state and the kernel's working set are
+//! lane-chunked.
 
 use crate::gradients::GradientBuffer;
 use gs_core::gaussian::{GaussianModel, SH_FLOATS};
+use gs_core::soa::{zero_lane_block, LaneBlock, SoaParams, LANE_WIDTH};
 use gs_core::PARAMS_PER_GAUSSIAN;
+use gs_render::parallel_for_each;
 
 /// Adam hyper-parameters, with the per-attribute learning rates used by the
 /// reference 3DGS implementation.
@@ -89,33 +103,23 @@ impl AdamConfig {
             _ => self.lr_opacity,
         }
     }
-}
 
-/// Per-Gaussian Adam state: first and second moments for all 59 parameters
-/// (flat, in [`param_row`](GaussianModel::param_row) layout) plus a
-/// per-Gaussian step counter.  Flat fixed-size arrays keep each row a single
-/// allocation-free `memcpy`, which is what lets the packed path ship rows
-/// between threads cheaply.
-#[derive(Debug, Clone)]
-struct MomentRow {
-    m: [f32; PARAMS_PER_GAUSSIAN],
-    v: [f32; PARAMS_PER_GAUSSIAN],
-    step: u64,
-}
-
-impl MomentRow {
-    fn new() -> Self {
-        MomentRow {
-            m: [0.0; PARAMS_PER_GAUSSIAN],
-            v: [0.0; PARAMS_PER_GAUSSIAN],
-            step: 0,
+    /// The per-parameter learning rates as one flat table in
+    /// [`param_row`](GaussianModel::param_row) layout — the form the lane
+    /// kernel consumes (a plain indexed load instead of a branch per
+    /// element).
+    pub fn lr_table(&self) -> [f32; PARAMS_PER_GAUSSIAN] {
+        let mut table = [0.0f32; PARAMS_PER_GAUSSIAN];
+        for (k, lr) in table.iter_mut().enumerate() {
+            *lr = self.lr_of(k);
         }
+        table
     }
 }
 
 /// One Gaussian's exported Adam state — the checkpointable view of a moment
-/// row.  Same flat layout as the internal state, so export → restore is a
-/// pure copy and restored optimisers continue bit-identically.
+/// row.  Flat [`param_row`](GaussianModel::param_row) layout, so export →
+/// restore is a pure copy and restored optimisers continue bit-identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdamRowState {
     /// First-moment row, in [`param_row`](GaussianModel::param_row) layout.
@@ -149,48 +153,127 @@ pub struct AdamWorkItem {
     pub v: [f32; PARAMS_PER_GAUSSIAN],
 }
 
-/// The Adam update of one flat parameter row.  **Every** optimiser path in
-/// this crate runs exactly this function, which is what makes the
-/// sequential, packed and chunked drivers bit-identical.
+impl AdamWorkItem {
+    /// An all-zero work item at step 1 — the padding-lane value: every Adam
+    /// expression over it yields exactly zero (step 1 keeps the bias
+    /// corrections non-zero), so padded lanes can run through the full
+    /// kernel without affecting anything.
+    fn zeroed() -> Self {
+        AdamWorkItem {
+            index: 0,
+            step: 1,
+            params: [0.0; PARAMS_PER_GAUSSIAN],
+            grad: [0.0; PARAMS_PER_GAUSSIAN],
+            m: [0.0; PARAMS_PER_GAUSSIAN],
+            v: [0.0; PARAMS_PER_GAUSSIAN],
+        }
+    }
+}
+
+/// The Adam update of one lane group: `L` Gaussians, parameter-major.
+/// **Every** optimiser path in this crate runs exactly this function, which
+/// is what makes the sequential, packed and chunked drivers bit-identical.
+///
+/// The per-element math is the textbook Kingma & Ba update with
+/// per-attribute learning rates (`lr`, indexed in
+/// [`param_row`](GaussianModel::param_row) layout) and a **per-lane** step
+/// counter (Gaussians age independently under sparse updates, so each lane
+/// carries its own bias correction).  The inner loop walks `L` consecutive
+/// floats of one parameter — a fixed-width block the autovectoriser lowers
+/// to SIMD mul/div/sqrt; swapping it for `std::simd` later is mechanical.
+///
+/// Padding lanes must be staged as zeros **with step ≥ 1** (the private
+/// `AdamWorkItem::zeroed` value); a zero lane stays exactly zero.
 #[inline]
-fn adam_update_row(
-    config: &AdamConfig,
-    step: u64,
-    params: &mut [f32; PARAMS_PER_GAUSSIAN],
-    grad: &[f32; PARAMS_PER_GAUSSIAN],
-    m: &mut [f32; PARAMS_PER_GAUSSIAN],
-    v: &mut [f32; PARAMS_PER_GAUSSIAN],
+pub fn adam_update_lanes<const L: usize>(
+    lr: &[f32; PARAMS_PER_GAUSSIAN],
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    steps: &[u64; L],
+    params: &mut [[f32; L]; PARAMS_PER_GAUSSIAN],
+    grads: &[[f32; L]; PARAMS_PER_GAUSSIAN],
+    m: &mut [[f32; L]; PARAMS_PER_GAUSSIAN],
+    v: &mut [[f32; L]; PARAMS_PER_GAUSSIAN],
 ) {
-    let t = step as f32;
-    let bias1 = 1.0 - config.beta1.powf(t);
-    let bias2 = 1.0 - config.beta2.powf(t);
+    // Bias corrections are per lane (powf stays a scalar libm call), hoisted
+    // out of the parameter loop so the hot inner loop is pure mul/div/sqrt.
+    let mut bias1 = [0.0f32; L];
+    let mut bias2 = [0.0f32; L];
+    for l in 0..L {
+        let t = steps[l] as f32;
+        bias1[l] = 1.0 - beta1.powf(t);
+        bias2[l] = 1.0 - beta2.powf(t);
+    }
     for k in 0..PARAMS_PER_GAUSSIAN {
-        let g = grad[k];
-        m[k] = config.beta1 * m[k] + (1.0 - config.beta1) * g;
-        v[k] = config.beta2 * v[k] + (1.0 - config.beta2) * g * g;
-        let m_hat = m[k] / bias1;
-        let v_hat = v[k] / bias2;
-        params[k] -= config.lr_of(k) * m_hat / (v_hat.sqrt() + config.eps);
+        let lr_k = lr[k];
+        let (pk, gk) = (&mut params[k], &grads[k]);
+        let (mk, vk) = (&mut m[k], &mut v[k]);
+        for l in 0..L {
+            let g = gk[l];
+            mk[l] = beta1 * mk[l] + (1.0 - beta1) * g;
+            vk[l] = beta2 * vk[l] + (1.0 - beta2) * g * g;
+            let m_hat = mk[l] / bias1[l];
+            let v_hat = vk[l] / bias2[l];
+            pk[l] -= lr_k * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}
+
+/// Runs the lane kernel over packed work items in groups of `L`
+/// (single-threaded), staging each group through a parameter-major block.
+/// Exposed with a const lane count so tests can sweep `L ∈ {1, 2, 4, 8}`
+/// against the scalar reference; production paths use
+/// [`compute_packed`] (`L =` [`LANE_WIDTH`]).
+pub fn compute_packed_lanes<const L: usize>(config: &AdamConfig, items: &mut [AdamWorkItem]) {
+    let lr = config.lr_table();
+    let pad = AdamWorkItem::zeroed();
+    let mut steps = [1u64; L];
+    let mut p = [[0.0f32; L]; PARAMS_PER_GAUSSIAN];
+    let mut g = [[0.0f32; L]; PARAMS_PER_GAUSSIAN];
+    let mut m = [[0.0f32; L]; PARAMS_PER_GAUSSIAN];
+    let mut v = [[0.0f32; L]; PARAMS_PER_GAUSSIAN];
+    for group in items.chunks_mut(L) {
+        for l in 0..L {
+            let item = group.get(l).unwrap_or(&pad);
+            steps[l] = item.step;
+            for k in 0..PARAMS_PER_GAUSSIAN {
+                p[k][l] = item.params[k];
+                g[k][l] = item.grad[k];
+                m[k][l] = item.m[k];
+                v[k][l] = item.v[k];
+            }
+        }
+        adam_update_lanes(
+            &lr,
+            config.beta1,
+            config.beta2,
+            config.eps,
+            &steps,
+            &mut p,
+            &g,
+            &mut m,
+            &mut v,
+        );
+        for (l, item) in group.iter_mut().enumerate() {
+            for k in 0..PARAMS_PER_GAUSSIAN {
+                item.params[k] = p[k][l];
+                item.m[k] = m[k][l];
+                item.v[k] = v[k][l];
+            }
+        }
     }
 }
 
 /// Runs the Adam kernel over every packed work item (single-threaded).
 pub fn compute_packed(config: &AdamConfig, items: &mut [AdamWorkItem]) {
-    for item in items {
-        adam_update_row(
-            config,
-            item.step,
-            &mut item.params,
-            &item.grad,
-            &mut item.m,
-            &mut item.v,
-        );
-    }
+    compute_packed_lanes::<LANE_WIDTH>(config, items);
 }
 
 /// Runs the Adam kernel over the packed work items split across up to
-/// `threads` scoped worker threads.  Each item is independent, so the result
-/// is bit-identical to [`compute_packed`] regardless of the thread count.
+/// `threads` workers of the persistent compute pool.  Each item is
+/// independent, so the result is bit-identical to [`compute_packed`]
+/// regardless of the thread count or chunk boundaries.
 pub fn compute_packed_chunked(config: &AdamConfig, items: &mut [AdamWorkItem], threads: usize) {
     let threads = threads.max(1).min(items.len().max(1));
     if threads <= 1 {
@@ -198,34 +281,51 @@ pub fn compute_packed_chunked(config: &AdamConfig, items: &mut [AdamWorkItem], t
         return;
     }
     let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for slice in items.chunks_mut(chunk) {
-            scope.spawn(move || compute_packed(config, slice));
-        }
-    });
+    let slices: Vec<&mut [AdamWorkItem]> = items.chunks_mut(chunk).collect();
+    parallel_for_each(threads, slices, |slice| compute_packed(config, slice));
 }
 
-/// Flattens a [`GradientBuffer`] row into the
-/// [`param_row`](GaussianModel::param_row) layout.
-fn flat_grad(grads: &GradientBuffer, index: u32) -> [f32; PARAMS_PER_GAUSSIAN] {
+/// Writes a [`GradientBuffer`] row into a flat
+/// [`param_row`](GaussianModel::param_row)-layout buffer.
+fn flat_grad_into(grads: &GradientBuffer, index: u32, row: &mut [f32; PARAMS_PER_GAUSSIAN]) {
     let g = grads.row(index);
-    let mut row = [0.0f32; PARAMS_PER_GAUSSIAN];
     row[0..3].copy_from_slice(&g.d_position.to_array());
     row[3..6].copy_from_slice(&g.d_log_scale.to_array());
     row[6..10].copy_from_slice(&g.d_rotation);
     row[10..10 + SH_FLOATS].copy_from_slice(&g.d_sh);
     row[PARAMS_PER_GAUSSIAN - 1] = g.d_opacity_logit;
-    row
 }
 
-/// Adam optimiser whose state is shaped like a [`GaussianModel`].
+/// Stages a [`GradientBuffer`] row into lane `lane` of a parameter-major
+/// block — the transposed twin of [`flat_grad_into`], same values.
+fn stage_grad_lane(grads: &GradientBuffer, index: u32, lane: usize, block: &mut LaneBlock) {
+    let g = grads.row(index);
+    let dp = g.d_position.to_array();
+    let ds = g.d_log_scale.to_array();
+    for k in 0..3 {
+        block[k][lane] = dp[k];
+        block[3 + k][lane] = ds[k];
+    }
+    for k in 0..4 {
+        block[6 + k][lane] = g.d_rotation[k];
+    }
+    for k in 0..SH_FLOATS {
+        block[10 + k][lane] = g.d_sh[k];
+    }
+    block[PARAMS_PER_GAUSSIAN - 1][lane] = g.d_opacity_logit;
+}
+
+/// Adam optimiser whose state is shaped like a [`GaussianModel`], held in
+/// lane-chunked [`SoaParams`] stores so the kernel streams it SIMD-wise.
 ///
 /// The state grows lazily: Gaussians created by densification get fresh
 /// moments the first time they are updated.
 #[derive(Debug, Clone)]
 pub struct GaussianAdam {
     config: AdamConfig,
-    rows: Vec<MomentRow>,
+    m: SoaParams,
+    v: SoaParams,
+    steps: Vec<u64>,
 }
 
 impl GaussianAdam {
@@ -233,7 +333,9 @@ impl GaussianAdam {
     pub fn new(len: usize, config: AdamConfig) -> Self {
         GaussianAdam {
             config,
-            rows: (0..len).map(|_| MomentRow::new()).collect(),
+            m: SoaParams::zeros(len),
+            v: SoaParams::zeros(len),
+            steps: vec![0; len],
         }
     }
 
@@ -244,23 +346,25 @@ impl GaussianAdam {
 
     /// Number of Gaussians with optimiser state.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.steps.len()
     }
 
     /// Whether the optimiser holds no state.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.steps.is_empty()
     }
 
     /// Bytes of optimiser state (two moments per parameter), matching the
     /// paper's accounting.
     pub fn state_bytes(&self) -> usize {
-        self.rows.len() * PARAMS_PER_GAUSSIAN * 2 * 4
+        self.steps.len() * PARAMS_PER_GAUSSIAN * 2 * 4
     }
 
     /// Ensures state exists for `len` Gaussians (used after densification).
     pub fn resize(&mut self, len: usize) {
-        self.rows.resize_with(len, MomentRow::new);
+        self.m.resize(len);
+        self.v.resize(len);
+        self.steps.resize(len, 0);
     }
 
     /// Resizes the optimiser state for a densification boundary, following
@@ -276,14 +380,16 @@ impl GaussianAdam {
     /// Panics if a pruned index is out of bounds of the current state.
     pub fn apply_resize(&mut self, pruned: &[u32], new_len: usize) {
         if !pruned.is_empty() {
-            let mut remove = vec![false; self.rows.len()];
+            let mut remove = vec![false; self.steps.len()];
             for &i in pruned {
                 let i = i as usize;
                 assert!(i < remove.len(), "pruned index {i} out of bounds");
                 remove[i] = true;
             }
             let mut flags = remove.iter();
-            self.rows.retain(|_| !*flags.next().unwrap());
+            self.steps.retain(|_| !*flags.next().unwrap());
+            self.m.apply_resize(pruned, self.steps.len());
+            self.v.apply_resize(pruned, self.steps.len());
         }
         self.resize(new_len);
     }
@@ -316,7 +422,7 @@ impl GaussianAdam {
     }
 
     /// Like [`step_subset`](Self::step_subset) but running the per-row
-    /// kernels across up to `threads` scoped worker threads (the
+    /// kernels across up to `threads` pool worker threads (the
     /// parallel-chunk CPU Adam path).  Bit-identical to the sequential step
     /// for any thread count, since every row is independent.
     pub fn step_subset_parallel(
@@ -332,29 +438,67 @@ impl GaussianAdam {
         self.apply_packed(model, &items);
     }
 
+    /// The in-place driver: stages `indices` (in order, groups of
+    /// [`LANE_WIDTH`]) into parameter-major lane blocks, runs the shared
+    /// lane kernel, and scatters the **active** lanes back.  Padding lanes
+    /// stay zero through the kernel and are never written anywhere.
     fn step_indices(&mut self, model: &mut GaussianModel, grads: &GradientBuffer, indices: &[u32]) {
-        for &idx in indices {
-            let i = idx as usize;
-            assert!(i < model.len(), "gaussian index {i} out of bounds");
-            let row = &mut self.rows[i];
-            row.step += 1;
-            let mut params = model.param_row(i);
-            let grad = flat_grad(grads, idx);
-            adam_update_row(
-                &self.config,
-                row.step,
-                &mut params,
-                &grad,
-                &mut row.m,
-                &mut row.v,
+        let lr = self.config.lr_table();
+        let mut steps = [1u64; LANE_WIDTH];
+        let mut p = zero_lane_block();
+        let mut g = zero_lane_block();
+        let mut m = zero_lane_block();
+        let mut v = zero_lane_block();
+        for group in indices.chunks(LANE_WIDTH) {
+            for l in 0..LANE_WIDTH {
+                match group.get(l) {
+                    Some(&idx) => {
+                        let i = idx as usize;
+                        assert!(i < model.len(), "gaussian index {i} out of bounds");
+                        self.steps[i] += 1;
+                        steps[l] = self.steps[i];
+                        model.param_lane_into(i, l, &mut p);
+                        stage_grad_lane(grads, idx, l, &mut g);
+                        self.m.gather_lane(i, l, &mut m);
+                        self.v.gather_lane(i, l, &mut v);
+                    }
+                    None => {
+                        // Re-zero lanes left over from the previous group.
+                        steps[l] = 1;
+                        for k in 0..PARAMS_PER_GAUSSIAN {
+                            p[k][l] = 0.0;
+                            g[k][l] = 0.0;
+                            m[k][l] = 0.0;
+                            v[k][l] = 0.0;
+                        }
+                    }
+                }
+            }
+            adam_update_lanes(
+                &lr,
+                self.config.beta1,
+                self.config.beta2,
+                self.config.eps,
+                &steps,
+                &mut p,
+                &g,
+                &mut m,
+                &mut v,
             );
-            model.set_param_row(i, &params);
+            for (l, &idx) in group.iter().enumerate() {
+                let i = idx as usize;
+                model.set_param_lane(i, l, &p);
+                self.m.scatter_lane(i, l, &m);
+                self.v.scatter_lane(i, l, &v);
+            }
         }
     }
 
     /// Packs the Adam work of `indices` into self-contained
     /// [`AdamWorkItem`]s without touching the model or the optimiser state —
-    /// only cheap copies.  Gaussians beyond the current state length get
+    /// each field is staged **directly** into the item (model row, gradient
+    /// row, lane-chunked moments), with no intermediate row
+    /// materialisation.  Gaussians beyond the current state length get
     /// fresh (zero) moments, exactly as the in-place path would create them.
     ///
     /// # Panics
@@ -372,18 +516,22 @@ impl GaussianAdam {
             .map(|&idx| {
                 let i = idx as usize;
                 assert!(i < model.len(), "gaussian index {i} out of bounds");
-                let (m, v, step) = match self.rows.get(i) {
-                    Some(row) => (row.m, row.v, row.step),
-                    None => ([0.0; PARAMS_PER_GAUSSIAN], [0.0; PARAMS_PER_GAUSSIAN], 0),
-                };
-                AdamWorkItem {
+                let mut item = AdamWorkItem {
                     index: idx,
-                    step: step + 1,
-                    params: model.param_row(i),
-                    grad: flat_grad(grads, idx),
-                    m,
-                    v,
+                    step: 1,
+                    params: [0.0; PARAMS_PER_GAUSSIAN],
+                    grad: [0.0; PARAMS_PER_GAUSSIAN],
+                    m: [0.0; PARAMS_PER_GAUSSIAN],
+                    v: [0.0; PARAMS_PER_GAUSSIAN],
+                };
+                model.read_param_row_into(i, &mut item.params);
+                flat_grad_into(grads, idx, &mut item.grad);
+                if i < self.steps.len() {
+                    item.step = self.steps[i] + 1;
+                    self.m.read_row_into(i, &mut item.m);
+                    self.v.read_row_into(i, &mut item.v);
                 }
+                item
             })
             .collect()
     }
@@ -399,26 +547,25 @@ impl GaussianAdam {
             let i = item.index as usize;
             assert!(i < model.len(), "gaussian index {i} out of bounds");
             model.set_param_row(i, &item.params);
-            let row = &mut self.rows[i];
-            row.m = item.m;
-            row.v = item.v;
-            row.step = item.step;
+            self.m.set_row(i, &item.m);
+            self.v.set_row(i, &item.v);
+            self.steps[i] = item.step;
         }
     }
 
     /// Number of Adam steps Gaussian `index` has received so far.
     pub fn step_count(&self, index: u32) -> u64 {
-        self.rows.get(index as usize).map(|r| r.step).unwrap_or(0)
+        self.steps.get(index as usize).copied().unwrap_or(0)
     }
 
-    /// Exports every moment row for checkpointing (pure copies).
+    /// Exports every moment row for checkpointing (pure copies through the
+    /// row-layout seam).
     pub fn export_rows(&self) -> Vec<AdamRowState> {
-        self.rows
-            .iter()
-            .map(|r| AdamRowState {
-                m: r.m,
-                v: r.v,
-                step: r.step,
+        (0..self.steps.len())
+            .map(|i| AdamRowState {
+                m: self.m.row(i),
+                v: self.v.row(i),
+                step: self.steps[i],
             })
             .collect()
     }
@@ -426,17 +573,13 @@ impl GaussianAdam {
     /// Rebuilds an optimiser from exported rows; the inverse of
     /// [`export_rows`](Self::export_rows).
     pub fn from_rows(config: AdamConfig, rows: Vec<AdamRowState>) -> Self {
-        GaussianAdam {
-            config,
-            rows: rows
-                .into_iter()
-                .map(|r| MomentRow {
-                    m: r.m,
-                    v: r.v,
-                    step: r.step,
-                })
-                .collect(),
+        let mut adam = GaussianAdam::new(rows.len(), config);
+        for (i, r) in rows.into_iter().enumerate() {
+            adam.m.set_row(i, &r.m);
+            adam.v.set_row(i, &r.v);
+            adam.steps[i] = r.step;
         }
+        adam
     }
 }
 
@@ -538,6 +681,7 @@ mod tests {
         // Updating {0,1} and then {2,3} with the same gradient buffer must
         // give exactly the same result as one dense step over all four —
         // this is the invariant overlapped CPU Adam relies on (§4.2.2).
+        // With lane grouping this also exercises partial lane blocks.
         let grads = varied_grads(4);
 
         let mut model_a = model_of(4);
@@ -722,6 +866,24 @@ mod tests {
         let opt = GaussianAdam::new(100, AdamConfig::default());
         // Two moments per parameter: 59 * 2 * 4 bytes per Gaussian.
         assert_eq!(opt.state_bytes(), 100 * 472);
+    }
+
+    #[test]
+    fn export_rows_round_trips_through_from_rows() {
+        let grads = varied_grads(11);
+        let mut model = model_of(11);
+        let mut opt = GaussianAdam::new(11, AdamConfig::default());
+        opt.step_dense(&mut model, &grads);
+        opt.step_subset(&mut model, &grads, &[3, 7, 9]);
+
+        let restored = GaussianAdam::from_rows(opt.config().clone(), opt.export_rows());
+        assert_eq!(restored.len(), opt.len());
+        // Restored state must continue bit-identically.
+        let mut model_restored = model.clone();
+        let mut opt_restored = restored;
+        opt.step_dense(&mut model, &grads);
+        opt_restored.step_dense(&mut model_restored, &grads);
+        assert_eq!(model, model_restored);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod adam;
 pub mod gradients;
 
 pub use adam::{
-    compute_packed, compute_packed_chunked, AdamConfig, AdamRowState, AdamWorkItem, GaussianAdam,
+    adam_update_lanes, compute_packed, compute_packed_chunked, compute_packed_lanes, AdamConfig,
+    AdamRowState, AdamWorkItem, GaussianAdam,
 };
 pub use gradients::GradientBuffer;

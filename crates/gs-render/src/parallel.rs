@@ -1,10 +1,16 @@
-//! Hand-rolled scoped compute pool for the rasteriser's banded kernels.
+//! Persistent hand-rolled compute pool for the rasteriser's banded kernels.
 //!
 //! The build is network-free, so instead of rayon this module provides the
 //! minimum the render forward/backward passes need on top of `std` only: a
-//! work-stealing `parallel_for_each` over a vector of owned jobs, executed
-//! by scoped worker threads (`std::thread::scope`), plus an index-preserving
-//! `parallel_map` built on it.
+//! work-stealing `parallel_for_each` over a vector of owned jobs plus an
+//! index-preserving `parallel_map` built on it, both executed by a
+//! **persistent** pool of worker threads ([`ComputePool`]).  Earlier
+//! revisions spawned scoped threads per call; at band granularity (a few
+//! hundred microseconds of work per region) the per-call spawn/join cost was
+//! measurable, so workers are now spawned lazily on first use, parked on a
+//! condvar between regions, and joined when the pool is dropped.  The
+//! process-wide [`ComputePool::global`] instance is shared by the rasterise
+//! bands, the projection/binning prologue, and the chunked Adam driver.
 //!
 //! # Determinism contract
 //!
@@ -24,43 +30,281 @@
 //! [`crate::rasterize::render_backward`] merges its per-band gradient
 //! accumulators.
 //!
-//! Scoped threads (rather than a long-lived pool) are deliberate: they let
-//! jobs borrow the caller's stack-local buffers (image bands, per-band
-//! accumulators) directly, with no `Arc` plumbing and no `'static` bound,
-//! and they make the pool's lifetime exactly one parallel region — there is
-//! no shared global state to configure or poison across calls.
+//! # How non-`'static` jobs stay sound
+//!
+//! Jobs borrow the caller's stack (image bands, per-band accumulators) with
+//! no `Arc` plumbing, exactly as the old scoped version allowed.  Soundness
+//! rests on a strict rendezvous: a region hands workers a lifetime-erased
+//! reference to the caller's closure, and the private `ComputePool::run_region` does
+//! not return — not even on panic — until every participating worker has
+//! reported completion and the shared job slot is cleared.  The borrow
+//! therefore never outlives the caller's frame.
+//!
+//! Regions are serialised through the pool's region lock.  If a *worker*
+//! thread itself enters a parallel region (nested parallelism), that inner
+//! region degrades to a plain serial loop on the worker — waiting for the
+//! region lock from inside a region would deadlock, and at band granularity
+//! nested splitting has nothing left to win.
 
-use std::sync::Mutex;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
-/// Runs `f` over every job in `jobs` across up to `threads` scoped worker
-/// threads (the calling thread participates, so `threads = 4` means at most
-/// 3 spawned workers).  Jobs are handed out through a shared queue in an
-/// unspecified order; see the module docs for why callers stay
-/// deterministic anyway.
-///
-/// `threads <= 1` (or fewer than two jobs) degenerates to a plain serial
-/// loop with no thread spawn at all, so the serial path *is* the parallel
-/// path at width 1 — there is no separate code path to diverge from.
+/// Upper bound on persistent workers; callers asking for more parallelism
+/// simply share these (the calling thread always participates too).
+const MAX_WORKERS: usize = 64;
+
+thread_local! {
+    /// Set for the lifetime of every pool worker thread; nested parallel
+    /// regions detect it and fall back to serial execution.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lifetime-erased region job.  Only ever dereferenced between region start
+/// and the completion rendezvous, while the caller's frame is pinned.
+type Job = &'static (dyn Fn() + Sync);
+
+struct PoolState {
+    /// Bumped once per region; workers use it to participate at most once.
+    epoch: u64,
+    /// The active region's job, present only while the region runs.
+    job: Option<Job>,
+    /// Worker participation slots remaining in the active region.
+    slots: usize,
+    /// Workers currently inside the job.
+    running: usize,
+    /// A worker's job call panicked during the active region.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between regions.
+    work_cv: Condvar,
+    /// The region caller parks here until `slots == 0 && running == 0`.
+    done_cv: Condvar,
+}
+
+/// A persistent compute pool: workers are spawned lazily up to the demanded
+/// width, parked between regions, and joined on drop.
+pub struct ComputePool {
+    shared: Arc<PoolShared>,
+    /// Doubles as the region lock: held for the whole of `run_region`, so
+    /// regions are serialised and worker growth is race-free.
+    inner: Mutex<PoolInner>,
+}
+
+struct PoolInner {
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Default for ComputePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComputePool {
+    /// Creates an empty pool; workers are spawned on first demand.
+    pub fn new() -> Self {
+        ComputePool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    job: None,
+                    slots: 0,
+                    running: 0,
+                    panicked: false,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            inner: Mutex::new(PoolInner {
+                workers: Vec::new(),
+            }),
+        }
+    }
+
+    /// The process-wide pool shared by rasterise bands, the
+    /// projection/binning prologue, and the chunked Adam driver.  Never
+    /// dropped; its workers park on a condvar while idle.
+    pub fn global() -> &'static ComputePool {
+        static POOL: OnceLock<ComputePool> = OnceLock::new();
+        POOL.get_or_init(ComputePool::new)
+    }
+
+    /// Number of worker threads spawned so far (test/diagnostic hook).
+    pub fn spawned_workers(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("compute pool inner poisoned")
+            .workers
+            .len()
+    }
+
+    /// Runs `f` over every job in `jobs` across up to `threads` pool
+    /// threads (the calling thread participates, so `threads = 4` means at
+    /// most 3 workers).  Jobs are handed out through a shared queue in an
+    /// unspecified order; see the module docs for why callers stay
+    /// deterministic anyway.
+    ///
+    /// `threads <= 1`, fewer than two jobs, or a call from inside a pool
+    /// worker (nested region) degenerates to a plain serial loop, so the
+    /// serial path *is* the parallel path at width 1 — there is no separate
+    /// code path to diverge from.
+    pub fn for_each<J, F>(&self, threads: usize, jobs: Vec<J>, f: F)
+    where
+        J: Send,
+        F: Fn(J) + Sync,
+    {
+        let width = threads.max(1).min(jobs.len());
+        if width <= 1 || IN_WORKER.get() {
+            for job in jobs {
+                f(job);
+            }
+            return;
+        }
+        let queue = Mutex::new(jobs.into_iter());
+        let body = || drain(&queue, &f);
+        self.run_region((width - 1).min(MAX_WORKERS), &body);
+    }
+
+    /// Runs one parallel region: `extra` workers plus the calling thread
+    /// all invoke `job` once (the job drains a shared queue internally).
+    /// Returns only after every participant has finished, even on panic —
+    /// the soundness rendezvous for the lifetime-erased borrow.
+    fn run_region(&self, extra: usize, job: &(dyn Fn() + Sync)) {
+        let mut inner = self.inner.lock().expect("compute pool inner poisoned");
+        while inner.workers.len() < extra {
+            let shared = Arc::clone(&self.shared);
+            let name = format!("clm-compute-{}", inner.workers.len());
+            inner.workers.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn compute pool worker"),
+            );
+        }
+        // SAFETY: the erased reference is only dereferenced by workers
+        // between here and the completion wait below; we do not return
+        // (even unwinding is deferred) until `slots == 0 && running == 0`
+        // and the job slot is cleared, so the borrow cannot escape the
+        // caller's frame.
+        let erased: Job =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(job) };
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .expect("compute pool state poisoned");
+            st.epoch += 1;
+            st.job = Some(erased);
+            st.slots = extra;
+            st.running = 0;
+            st.panicked = false;
+            self.shared.work_cv.notify_all();
+        }
+        // The calling thread is always a participant.
+        let caller = catch_unwind(AssertUnwindSafe(job));
+        let worker_panicked = {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .expect("compute pool state poisoned");
+            while st.slots != 0 || st.running != 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .expect("compute pool state poisoned");
+            }
+            st.job = None;
+            std::mem::take(&mut st.panicked)
+        };
+        drop(inner);
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("compute pool worker panicked while running a parallel region");
+        }
+    }
+}
+
+impl Drop for ComputePool {
+    fn drop(&mut self) {
+        let mut inner = self.inner.lock().expect("compute pool inner poisoned");
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .expect("compute pool state poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in inner.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker body: park until a region has participation slots left, run the
+/// region job once, report completion, repeat until shutdown.
+fn worker_loop(shared: Arc<PoolShared>) {
+    IN_WORKER.set(true);
+    // Participate in any epoch newer than the last one seen; starting at 0
+    // means a freshly spawned worker may join the region that spawned it.
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("compute pool state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    if st.slots > 0 {
+                        break;
+                    }
+                    // Region is fully subscribed; skip this epoch.
+                    seen = st.epoch;
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .expect("compute pool state poisoned");
+            }
+            seen = st.epoch;
+            st.slots -= 1;
+            st.running += 1;
+            st.job.expect("region with slots but no job")
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut st = shared.state.lock().expect("compute pool state poisoned");
+        st.running -= 1;
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        if st.slots == 0 && st.running == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Runs `f` over every job in `jobs` across up to `threads` threads of the
+/// [global pool](ComputePool::global).  See [`ComputePool::for_each`].
 pub fn parallel_for_each<J, F>(threads: usize, jobs: Vec<J>, f: F)
 where
     J: Send,
     F: Fn(J) + Sync,
 {
-    let workers = threads.max(1).min(jobs.len());
-    if workers <= 1 {
-        for job in jobs {
-            f(job);
-        }
-        return;
-    }
-    let queue = Mutex::new(jobs.into_iter());
-    let (queue, f) = (&queue, &f);
-    std::thread::scope(|scope| {
-        for _ in 1..workers {
-            scope.spawn(move || drain(queue, f));
-        }
-        drain(queue, f);
-    });
+    ComputePool::global().for_each(threads, jobs, f);
 }
 
 /// Worker loop: pop the next job (holding the queue lock only for the pop),
@@ -149,5 +393,101 @@ mod tests {
         let got: Vec<usize> = parallel_map(8, 0, |i| i);
         assert!(got.is_empty());
         assert_eq!(parallel_map(8, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_regions() {
+        let pool = ComputePool::new();
+        assert_eq!(pool.spawned_workers(), 0, "workers are spawned lazily");
+        let sum = AtomicUsize::new(0);
+        pool.for_each(4, (0..32).collect(), |i: usize| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        let after_first = pool.spawned_workers();
+        assert_eq!(after_first, 3, "threads=4 spawns 3 workers + caller");
+        for _ in 0..10 {
+            pool.for_each(4, (0..32).collect(), |i: usize| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(
+            pool.spawned_workers(),
+            after_first,
+            "subsequent same-width regions reuse the parked workers"
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 11 * (0..32).sum::<usize>());
+        // Wider demand grows the pool instead of respawning.
+        pool.for_each(6, (0..32).collect(), |_: usize| {});
+        assert_eq!(pool.spawned_workers(), 5);
+    }
+
+    #[test]
+    fn drop_joins_idle_workers() {
+        let pool = ComputePool::new();
+        let hits = AtomicUsize::new(0);
+        pool.for_each(8, (0..64).collect(), |_: usize| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        drop(pool); // must not hang; joins the 7 parked workers
+    }
+
+    #[test]
+    fn nested_regions_fall_back_to_serial() {
+        // A job that itself calls parallel_for_each: on a worker thread the
+        // inner region must run inline rather than deadlocking on the
+        // region lock.
+        let counter = AtomicUsize::new(0);
+        parallel_for_each(4, (0..8).collect(), |_: usize| {
+            parallel_for_each(4, (0..8).collect(), |_: usize| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn concurrent_callers_serialise_through_the_region_lock() {
+        let pool = std::sync::Arc::new(ComputePool::new());
+        let total = std::sync::Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                let total = std::sync::Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..16 {
+                        pool.for_each(3, (0..10).collect(), |i: usize| {
+                            total.fetch_add(i + 1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            4 * 16 * (1..=10).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let pool = ComputePool::new();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each(4, (0..64).collect(), |i: usize| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must cross the region boundary");
+        // The pool stays usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.for_each(4, (0..16).collect(), |_: usize| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
     }
 }

@@ -29,6 +29,26 @@
 //!
 //! `compute_threads = 1` runs exactly the same banded code path, so "the
 //! serial path" and "the parallel path at width 1" are one and the same.
+//!
+//! # Lane-staged tiles (SoA inner loops)
+//!
+//! After binning, each tile's splats are staged into a `TileSoa` (private): one
+//! `f32` array per screen-space attribute (means, conic, opacity, colour),
+//! zero-padded to a multiple of [`LANES`].  The per-pixel alpha evaluation
+//! then runs over fixed-width lane blocks (`TileSoa::lane_alphas`) whose
+//! inner loops the autovectoriser lowers to SIMD — only `exp` stays a
+//! scalar libm call per lane.  This changes *scheduling only*: every lane
+//! evaluates exactly the expressions the scalar `splat_alpha` evaluated
+//! (`power > 0 → skip` becomes the sentinel alpha `0.0 < MIN_ALPHA`), and
+//! the compositing walk over the results is unchanged, so images and
+//! gradients stay bit-identical.  Zero padding is inert by construction: a
+//! zero lane yields `power = -0.0 → alpha = 0.0 → skipped`.
+//!
+//! The prologue (projection, tile binning, SoA staging) is also
+//! band/tile-parallel on the same pool.  Projection preserves candidate
+//! order via an index-ordered map; binning assigns each *tile row* to one
+//! job that scans the depth-sorted splats in slot order, reproducing the
+//! serial per-tile list order exactly.
 
 use crate::image::Image;
 use crate::parallel::{parallel_for_each, parallel_map};
@@ -38,7 +58,8 @@ use crate::projection::{
 };
 use gs_core::camera::Camera;
 use gs_core::gaussian::GaussianModel;
-use gs_core::math::{Sym2, Vec2};
+use gs_core::math::Sym2;
+use gs_core::soa::LANE_WIDTH as LANES;
 
 /// Tile edge length in pixels.
 pub const TILE_SIZE: u32 = 16;
@@ -98,6 +119,9 @@ pub struct RenderAux {
     projected: Vec<ProjectedGaussian>,
     contexts: Vec<ProjectionContext>,
     tile_lists: Vec<Vec<u32>>,
+    /// Lane-staged copies of each tile's splat attributes, built once in the
+    /// forward prologue and reused by the backward pass.
+    tile_soas: Vec<TileSoa>,
     pixel_states: Vec<PixelState>,
     tiles_x: u32,
     width: u32,
@@ -143,18 +167,13 @@ pub struct RenderOutput {
 pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -> RenderOutput {
     let width = camera.intrinsics.width;
     let height = camera.intrinsics.height;
+    let compute_threads = options.compute_threads.max(1);
 
-    // 1. Project candidate Gaussians.
-    let mut projected: Vec<ProjectedGaussian> = Vec::new();
-    let mut contexts: Vec<ProjectionContext> = Vec::new();
-    let mut project_one = |idx: u32| {
-        let g = model.get(idx as usize);
-        if let Some((p, ctx)) = project_gaussian(&g, idx, camera) {
-            projected.push(p);
-            contexts.push(ctx);
-        }
-    };
-    match &options.visible {
+    // 1. Project candidate Gaussians in parallel.  Indices are validated
+    //    up front (deterministic panics), then an index-ordered map keeps
+    //    the surviving splats in candidate order — exactly the serial order.
+    let all_indices: Vec<u32>;
+    let candidates: &[u32] = match &options.visible {
         Some(indices) => {
             for &idx in indices {
                 assert!(
@@ -162,14 +181,23 @@ pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -
                     "visible index {idx} out of bounds for model of length {}",
                     model.len()
                 );
-                project_one(idx);
             }
+            indices
         }
         None => {
-            for idx in 0..model.len() as u32 {
-                project_one(idx);
-            }
+            all_indices = (0..model.len() as u32).collect();
+            &all_indices
         }
+    };
+    let mut projected: Vec<ProjectedGaussian> = Vec::new();
+    let mut contexts: Vec<ProjectionContext> = Vec::new();
+    let projections = parallel_map(compute_threads, candidates.len(), |k| {
+        let idx = candidates[k];
+        project_gaussian(&model.get(idx as usize), idx, camera)
+    });
+    for (p, ctx) in projections.into_iter().flatten() {
+        projected.push(p);
+        contexts.push(ctx);
     }
 
     // 2. Depth sort (front to back).
@@ -189,38 +217,38 @@ pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -
         .map(|&i| contexts[i as usize].clone())
         .collect();
 
-    // 3. Bin splats into tiles (kept in depth order by construction).
+    // 3. Bin splats into tiles (kept in depth order by construction).  One
+    //    job per tile row: each job owns that row's lists and scans the
+    //    splats in slot order, so every list is filled in exactly the order
+    //    a serial pass over the splats would produce.
     let tiles_x = width.div_ceil(TILE_SIZE);
     let tiles_y = height.div_ceil(TILE_SIZE);
     let mut tile_lists: Vec<Vec<u32>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
-    for (slot, p) in projected.iter().enumerate() {
-        let min_x = ((p.mean2d.x - p.radius).floor().max(0.0)) as u32;
-        let max_x = ((p.mean2d.x + p.radius).ceil().min(width as f32 - 1.0)) as u32;
-        let min_y = ((p.mean2d.y - p.radius).floor().max(0.0)) as u32;
-        let max_y = ((p.mean2d.y + p.radius).ceil().min(height as f32 - 1.0)) as u32;
-        if p.mean2d.x + p.radius < 0.0
-            || p.mean2d.y + p.radius < 0.0
-            || p.mean2d.x - p.radius > width as f32
-            || p.mean2d.y - p.radius > height as f32
-        {
-            continue;
-        }
-        let t_min_x = min_x / TILE_SIZE;
-        let t_max_x = max_x / TILE_SIZE;
-        let t_min_y = min_y / TILE_SIZE;
-        let t_max_y = max_y / TILE_SIZE;
-        for ty in t_min_y..=t_max_y {
-            for tx in t_min_x..=t_max_x {
-                tile_lists[(ty * tiles_x + tx) as usize].push(slot as u32);
-            }
-        }
+    {
+        let jobs: Vec<(u32, &mut [Vec<u32>])> = tile_lists
+            .chunks_mut(tiles_x as usize)
+            .enumerate()
+            .map(|(ty, row)| (ty as u32, row))
+            .collect();
+        let projected = &projected;
+        parallel_for_each(compute_threads.min(tiles_y as usize), jobs, |(ty, row)| {
+            bin_tile_row(projected, width, height, ty, row);
+        });
     }
 
-    // 4. Per-pixel front-to-back compositing, one job per horizontal band.
+    // 4. Stage each tile's splats into lane-padded SoA arrays (pure copies;
+    //    one independent job per tile).
+    let tile_soas: Vec<TileSoa> = {
+        let (projected, tile_lists) = (&projected, &tile_lists);
+        parallel_map(compute_threads, tile_lists.len(), |t| {
+            TileSoa::build(&tile_lists[t], projected)
+        })
+    };
+
+    // 5. Per-pixel front-to-back compositing, one job per horizontal band.
     //    Each band owns a disjoint slice of the image and the pixel-state
     //    buffer, so the pool can run bands in any order on any thread.
     let band_height = options.band_height.max(1);
-    let compute_threads = options.compute_threads.max(1);
     let mut image = Image::new(width, height);
     let mut pixel_states = vec![PixelState::default(); (width * height) as usize];
     {
@@ -232,12 +260,11 @@ pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -
             .enumerate()
             .map(|(b, (img, states))| (b as u32 * band_height, img, states))
             .collect();
-        let (projected, tile_lists) = (&projected, &tile_lists);
+        let tile_soas = &tile_soas;
         let background = options.background;
         parallel_for_each(compute_threads, jobs, |(y0, img_band, state_band)| {
             composite_band(
-                projected,
-                tile_lists,
+                tile_soas,
                 tiles_x,
                 width,
                 height,
@@ -256,6 +283,7 @@ pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -
             projected,
             contexts,
             tile_lists,
+            tile_soas,
             pixel_states,
             tiles_x,
             width,
@@ -267,13 +295,173 @@ pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -
     }
 }
 
+/// Bins every splat that overlaps tile row `ty` into that row's lists,
+/// replicating the serial binning expressions (including the offscreen skip)
+/// exactly.  Scanning the splats in slot order fills each list in the same
+/// order a serial pass over all tiles would.
+fn bin_tile_row(
+    projected: &[ProjectedGaussian],
+    width: u32,
+    height: u32,
+    ty: u32,
+    row: &mut [Vec<u32>],
+) {
+    for (slot, p) in projected.iter().enumerate() {
+        let min_x = ((p.mean2d.x - p.radius).floor().max(0.0)) as u32;
+        let max_x = ((p.mean2d.x + p.radius).ceil().min(width as f32 - 1.0)) as u32;
+        let min_y = ((p.mean2d.y - p.radius).floor().max(0.0)) as u32;
+        let max_y = ((p.mean2d.y + p.radius).ceil().min(height as f32 - 1.0)) as u32;
+        if p.mean2d.x + p.radius < 0.0
+            || p.mean2d.y + p.radius < 0.0
+            || p.mean2d.x - p.radius > width as f32
+            || p.mean2d.y - p.radius > height as f32
+        {
+            continue;
+        }
+        if ty < min_y / TILE_SIZE || ty > max_y / TILE_SIZE {
+            continue;
+        }
+        let t_min_x = min_x / TILE_SIZE;
+        let t_max_x = max_x / TILE_SIZE;
+        for tx in t_min_x..=t_max_x {
+            row[tx as usize].push(slot as u32);
+        }
+    }
+}
+
+/// One tile's splats in structure-of-arrays form: one `f32` array per
+/// screen-space attribute, **zero-padded** to a multiple of [`LANES`] so the
+/// lane kernels always process full fixed-width blocks.  Entry `pos`
+/// corresponds to `tile_lists[tile][pos]`.
+///
+/// Zero padding is inert through the alpha kernel: a zero lane gives
+/// `power = -0.5 * 0 = -0.0` (not `> 0`), `alpha = 0 * exp(-0) = 0`, and
+/// `0 < MIN_ALPHA` means the compositing walk skips it — the same sentinel
+/// used for "splat does not cover this pixel".
+#[derive(Debug, Clone, Default)]
+struct TileSoa {
+    /// Real (unpadded) entry count — equals the tile list's length.
+    len: usize,
+    mean_x: Vec<f32>,
+    mean_y: Vec<f32>,
+    conic_a: Vec<f32>,
+    conic_b: Vec<f32>,
+    conic_c: Vec<f32>,
+    opacity: Vec<f32>,
+    color_r: Vec<f32>,
+    color_g: Vec<f32>,
+    color_b: Vec<f32>,
+}
+
+impl TileSoa {
+    /// Stages the splats of one tile list (pure copies of the projected
+    /// attributes, in list order).
+    fn build(list: &[u32], projected: &[ProjectedGaussian]) -> TileSoa {
+        let len = list.len();
+        let padded = len.next_multiple_of(LANES);
+        let mut soa = TileSoa {
+            len,
+            mean_x: vec![0.0; padded],
+            mean_y: vec![0.0; padded],
+            conic_a: vec![0.0; padded],
+            conic_b: vec![0.0; padded],
+            conic_c: vec![0.0; padded],
+            opacity: vec![0.0; padded],
+            color_r: vec![0.0; padded],
+            color_g: vec![0.0; padded],
+            color_b: vec![0.0; padded],
+        };
+        for (pos, &slot) in list.iter().enumerate() {
+            let p = &projected[slot as usize];
+            soa.mean_x[pos] = p.mean2d.x;
+            soa.mean_y[pos] = p.mean2d.y;
+            soa.conic_a[pos] = p.conic.a;
+            soa.conic_b[pos] = p.conic.b;
+            soa.conic_c[pos] = p.conic.c;
+            soa.opacity[pos] = p.opacity;
+            soa.color_r[pos] = p.color[0];
+            soa.color_g[pos] = p.color[1];
+            soa.color_b[pos] = p.color[2];
+        }
+        soa
+    }
+
+    /// Evaluates the Gaussian exponent for the [`LANES`] splats starting at
+    /// `base` against the pixel centre `(cx, cy)` — elementwise identical to
+    /// the scalar path: `power = -0.5 * conic.quadratic_form(dx, dy)` with
+    /// `dx = cx - mean_x`.  The fixed-width loop over array slices is the
+    /// SIMD-friendly shape (pure mul/add; no branches, no calls).
+    #[inline]
+    fn lane_powers(&self, base: usize, cx: f32, cy: f32, powers: &mut [f32; LANES]) {
+        let mx: &[f32; LANES] = self.mean_x[base..base + LANES].try_into().unwrap();
+        let my: &[f32; LANES] = self.mean_y[base..base + LANES].try_into().unwrap();
+        let ca: &[f32; LANES] = self.conic_a[base..base + LANES].try_into().unwrap();
+        let cb: &[f32; LANES] = self.conic_b[base..base + LANES].try_into().unwrap();
+        let cc: &[f32; LANES] = self.conic_c[base..base + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            let dx = cx - mx[l];
+            let dy = cy - my[l];
+            powers[l] = -0.5 * (ca[l] * dx * dx + 2.0 * cb[l] * dx * dy + cc[l] * dy * dy);
+        }
+    }
+
+    /// Evaluates the alpha of the [`LANES`] splats starting at `base` at
+    /// pixel centre `(cx, cy)`.  `alphas[l] = 0.0` encodes "skipped"
+    /// (outside the effective footprint or below [`MIN_ALPHA`]), exactly the
+    /// cases where the scalar path returned `None`.
+    #[inline]
+    fn lane_alphas(&self, base: usize, cx: f32, cy: f32, alphas: &mut [f32; LANES]) {
+        let mut powers = [0.0f32; LANES];
+        self.lane_powers(base, cx, cy, &mut powers);
+        let op: &[f32; LANES] = self.opacity[base..base + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            alphas[l] = if powers[l] > 0.0 {
+                0.0
+            } else {
+                (op[l] * powers[l].exp()).min(MAX_ALPHA)
+            };
+        }
+    }
+
+    /// Like [`lane_alphas`](Self::lane_alphas) but also exports the raw
+    /// Gaussian factor `exp(power)` per lane, which the backward pass chains
+    /// through the opacity gradient.  One `exp` per lane serves both — the
+    /// scalar backward path used to evaluate it twice.
+    #[inline]
+    fn lane_alphas_gauss(
+        &self,
+        base: usize,
+        cx: f32,
+        cy: f32,
+        alphas: &mut [f32; LANES],
+        gauss: &mut [f32; LANES],
+    ) {
+        let mut powers = [0.0f32; LANES];
+        self.lane_powers(base, cx, cy, &mut powers);
+        let op: &[f32; LANES] = self.opacity[base..base + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            let e = powers[l].exp();
+            gauss[l] = e;
+            alphas[l] = if powers[l] > 0.0 {
+                0.0
+            } else {
+                (op[l] * e).min(MAX_ALPHA)
+            };
+        }
+    }
+}
+
 /// Composites every pixel of the band starting at row `y0` into the band's
 /// slice of the image/state buffers.  Pure per pixel: identical output
 /// regardless of which thread runs it.
+///
+/// The splat walk processes each tile list in [`LANES`]-wide blocks: alphas
+/// for a block are evaluated by the lane kernel, then composited serially in
+/// list order with the same early-termination rule as before — termination
+/// mid-block wastes at most `LANES - 1` lane evaluations.
 #[allow(clippy::too_many_arguments)]
 fn composite_band(
-    projected: &[ProjectedGaussian],
-    tile_lists: &[Vec<u32>],
+    tile_soas: &[TileSoa],
     tiles_x: u32,
     width: u32,
     height: u32,
@@ -283,31 +471,38 @@ fn composite_band(
     img_band: &mut [[f32; 3]],
     state_band: &mut [PixelState],
 ) {
+    let mut alphas = [0.0f32; LANES];
     let y_end = (y0 + band_height).min(height);
     for ty in y0 / TILE_SIZE..=(y_end - 1) / TILE_SIZE {
         let py_start = (ty * TILE_SIZE).max(y0);
         let py_end = ((ty + 1) * TILE_SIZE).min(y_end);
         for tx in 0..tiles_x {
-            let list = &tile_lists[(ty * tiles_x + tx) as usize];
+            let soa = &tile_soas[(ty * tiles_x + tx) as usize];
             let x_end = ((tx + 1) * TILE_SIZE).min(width);
             for py in py_start..py_end {
+                let cy = py as f32 + 0.5;
                 for px in tx * TILE_SIZE..x_end {
+                    let cx = px as f32 + 0.5;
                     let mut t = 1.0f32;
                     let mut color = [0.0f32; 3];
                     let mut last_index = 0u32;
-                    for (pos, &slot) in list.iter().enumerate() {
-                        let p = &projected[slot as usize];
-                        let alpha = splat_alpha(p, px, py);
-                        last_index = pos as u32 + 1;
-                        let Some(alpha) = alpha else { continue };
-                        let next_t = t * (1.0 - alpha);
-                        if next_t < TRANSMITTANCE_EPS {
-                            break;
+                    'blocks: for base in (0..soa.len).step_by(LANES) {
+                        soa.lane_alphas(base, cx, cy, &mut alphas);
+                        for pos in base..(base + LANES).min(soa.len) {
+                            let alpha = alphas[pos - base];
+                            last_index = pos as u32 + 1;
+                            if alpha < MIN_ALPHA {
+                                continue;
+                            }
+                            let next_t = t * (1.0 - alpha);
+                            if next_t < TRANSMITTANCE_EPS {
+                                break 'blocks;
+                            }
+                            color[0] += soa.color_r[pos] * alpha * t;
+                            color[1] += soa.color_g[pos] * alpha * t;
+                            color[2] += soa.color_b[pos] * alpha * t;
+                            t = next_t;
                         }
-                        for c in 0..3 {
-                            color[c] += p.color[c] * alpha * t;
-                        }
-                        t = next_t;
                     }
                     for c in 0..3 {
                         color[c] += t * background[c];
@@ -321,23 +516,6 @@ fn composite_band(
                 }
             }
         }
-    }
-}
-
-/// Evaluates the alpha contribution of splat `p` at pixel `(px, py)`,
-/// returning `None` when the splat is skipped (too transparent or outside
-/// its effective footprint), exactly as the forward pass does.
-fn splat_alpha(p: &ProjectedGaussian, px: u32, py: u32) -> Option<f32> {
-    let d = Vec2::new(px as f32 + 0.5 - p.mean2d.x, py as f32 + 0.5 - p.mean2d.y);
-    let power = -0.5 * p.conic.quadratic_form(d.x, d.y);
-    if power > 0.0 {
-        return None;
-    }
-    let alpha = (p.opacity * power.exp()).min(MAX_ALPHA);
-    if alpha < MIN_ALPHA {
-        None
-    } else {
-        Some(alpha)
     }
 }
 
@@ -451,14 +629,24 @@ pub fn render_backward(
     RenderGradients { entries: merged }
 }
 
+/// Reusable per-worker scratch for [`backward_band`].
+#[derive(Default)]
+struct BandScratch {
+    /// Dense per-slot accumulator.  Invariant: all entries are zero between
+    /// bands — each band resets exactly the slots it touched — so reuse
+    /// costs O(touched) instead of re-zeroing O(projected) once per band.
+    dense: Vec<ScreenGradients>,
+    /// Per-pixel lane-kernel outputs for positions `0..last_index` (padded
+    /// to whole blocks), overwritten for every pixel.
+    alphas: Vec<f32>,
+    gauss: Vec<f32>,
+}
+
 std::thread_local! {
-    /// Per-worker dense scratch for [`backward_band`], reused across every
-    /// band the worker drains (and across calls, on the calling thread).
-    /// Invariant: all entries are zero between bands — each band resets
-    /// exactly the slots it touched — so reuse costs O(touched) instead of
-    /// re-zeroing O(projected) once per band.
-    static BAND_SCRATCH: std::cell::RefCell<Vec<ScreenGradients>> =
-        const { std::cell::RefCell::new(Vec::new()) };
+    /// Per-worker scratch for [`backward_band`], reused across every band
+    /// the worker drains (and across calls, on the calling thread).
+    static BAND_SCRATCH: std::cell::RefCell<BandScratch> =
+        std::cell::RefCell::new(BandScratch::default());
 }
 
 /// Accumulates the screen-space gradients of every pixel in the band
@@ -467,23 +655,30 @@ std::thread_local! {
 /// thread-local scratch is an allocation cache, never carried state.
 fn backward_band(aux: &RenderAux, d_image: &[[f32; 3]], y0: u32) -> Vec<(u32, ScreenGradients)> {
     BAND_SCRATCH.with(|cell| {
-        let mut dense = cell.borrow_mut();
-        if dense.len() < aux.projected.len() {
-            dense.resize(aux.projected.len(), ScreenGradients::default());
+        let mut scratch = cell.borrow_mut();
+        if scratch.dense.len() < aux.projected.len() {
+            scratch
+                .dense
+                .resize(aux.projected.len(), ScreenGradients::default());
         }
-        backward_band_with_scratch(aux, d_image, y0, &mut dense)
+        backward_band_with_scratch(aux, d_image, y0, &mut scratch)
     })
 }
 
-/// The body of [`backward_band`] over a caller-provided scratch buffer
-/// whose first `aux.projected.len()` entries are all zero; restores that
-/// invariant before returning.
+/// The body of [`backward_band`] over a caller-provided scratch whose dense
+/// accumulator's first `aux.projected.len()` entries are all zero; restores
+/// that invariant before returning.
 fn backward_band_with_scratch(
     aux: &RenderAux,
     d_image: &[[f32; 3]],
     y0: u32,
-    dense: &mut [ScreenGradients],
+    scratch: &mut BandScratch,
 ) -> Vec<(u32, ScreenGradients)> {
+    let BandScratch {
+        dense,
+        alphas,
+        gauss,
+    } = scratch;
     // Slots this band wrote to, pushed on first touch (a touched entry that
     // cancels back to exact zero may be pushed again — dedup below).
     let mut touched: Vec<u32> = Vec::new();
@@ -492,17 +687,38 @@ fn backward_band_with_scratch(
         let py_start = (ty * TILE_SIZE).max(y0);
         let py_end = ((ty + 1) * TILE_SIZE).min(y_end);
         for tx in 0..aux.tiles_x {
-            let list = &aux.tile_lists[(ty * aux.tiles_x + tx) as usize];
+            let tile = (ty * aux.tiles_x + tx) as usize;
+            let list = &aux.tile_lists[tile];
             if list.is_empty() {
                 continue;
             }
+            let soa = &aux.tile_soas[tile];
             let x_end = ((tx + 1) * TILE_SIZE).min(aux.width);
             for py in py_start..py_end {
+                let cy = py as f32 + 0.5;
                 for px in tx * TILE_SIZE..x_end {
                     let state = aux.pixel_states[(py * aux.width + px) as usize];
                     let d_pix = d_image[(py * aux.width + px) as usize];
                     if d_pix == [0.0; 3] || state.last_index == 0 {
                         continue;
+                    }
+                    let cx = px as f32 + 0.5;
+                    // Evaluate alpha and the Gaussian factor for every
+                    // position the forward pass examined, one lane block at
+                    // a time.  One `exp` per position serves the whole
+                    // reverse walk (the scalar path paid two).
+                    let last = state.last_index as usize;
+                    let padded = last.next_multiple_of(LANES);
+                    alphas.resize(padded, 0.0);
+                    gauss.resize(padded, 0.0);
+                    for base in (0..last).step_by(LANES) {
+                        soa.lane_alphas_gauss(
+                            base,
+                            cx,
+                            cy,
+                            (&mut alphas[base..base + LANES]).try_into().unwrap(),
+                            (&mut gauss[base..base + LANES]).try_into().unwrap(),
+                        );
                     }
                     let mut t = state.final_t;
                     // Accumulated contribution *behind* the splat currently
@@ -512,18 +728,19 @@ fn backward_band_with_scratch(
                         aux.background[1] * state.final_t,
                         aux.background[2] * state.final_t,
                     ];
-                    for pos in (0..state.last_index as usize).rev() {
-                        let slot = list[pos] as usize;
-                        let p = &aux.projected[slot];
-                        let Some(alpha) = splat_alpha(p, px, py) else {
+                    for pos in (0..last).rev() {
+                        let alpha = alphas[pos];
+                        if alpha < MIN_ALPHA {
                             continue;
-                        };
+                        }
+                        let slot = list[pos] as usize;
                         // Transmittance in front of this splat.
                         t /= 1.0 - alpha;
                         if dense[slot].is_zero() {
                             touched.push(slot as u32);
                         }
                         let g = &mut dense[slot];
+                        let color = [soa.color_r[pos], soa.color_g[pos], soa.color_b[pos]];
 
                         // Colour gradient.
                         for c in 0..3 {
@@ -532,32 +749,31 @@ fn backward_band_with_scratch(
                         // Alpha gradient.
                         let mut d_alpha = 0.0;
                         for c in 0..3 {
-                            let dc_dalpha = p.color[c] * t - behind[c] / (1.0 - alpha);
+                            let dc_dalpha = color[c] * t - behind[c] / (1.0 - alpha);
                             d_alpha += d_pix[c] * dc_dalpha;
                         }
                         // Update the "behind" accumulator for the next splat
                         // (the one in front of this one).
                         for c in 0..3 {
-                            behind[c] += p.color[c] * alpha * t;
+                            behind[c] += color[c] * alpha * t;
                         }
 
                         // Chain through alpha = min(0.99, opacity * exp(power)).
-                        let d =
-                            Vec2::new(px as f32 + 0.5 - p.mean2d.x, py as f32 + 0.5 - p.mean2d.y);
-                        let power = -0.5 * p.conic.quadratic_form(d.x, d.y);
-                        let gauss = power.exp();
-                        if p.opacity * gauss >= MAX_ALPHA {
+                        let (dx, dy) = (cx - soa.mean_x[pos], cy - soa.mean_y[pos]);
+                        let gauss_pos = gauss[pos];
+                        if soa.opacity[pos] * gauss_pos >= MAX_ALPHA {
                             continue; // clamped: no gradient through opacity/geometry
                         }
-                        g.d_opacity += gauss * d_alpha;
+                        g.d_opacity += gauss_pos * d_alpha;
                         let d_power = d_alpha * alpha;
                         g.d_conic = Sym2::new(
-                            g.d_conic.a - 0.5 * d.x * d.x * d_power,
-                            g.d_conic.b - d.x * d.y * d_power,
-                            g.d_conic.c - 0.5 * d.y * d.y * d_power,
+                            g.d_conic.a - 0.5 * dx * dx * d_power,
+                            g.d_conic.b - dx * dy * d_power,
+                            g.d_conic.c - 0.5 * dy * dy * d_power,
                         );
-                        g.d_mean2d.x += (p.conic.a * d.x + p.conic.b * d.y) * d_power;
-                        g.d_mean2d.y += (p.conic.b * d.x + p.conic.c * d.y) * d_power;
+                        let (ca, cb, cc) = (soa.conic_a[pos], soa.conic_b[pos], soa.conic_c[pos]);
+                        g.d_mean2d.x += (ca * dx + cb * dy) * d_power;
+                        g.d_mean2d.y += (cb * dx + cc * dy) * d_power;
                     }
                 }
             }
