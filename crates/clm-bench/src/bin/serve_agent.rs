@@ -1,0 +1,29 @@
+//! Tenant-agent process of the serving benchmark.
+//!
+//! Boots one in-process [`ClmServe`](clm_serve::ClmServe) instance, drives
+//! the fixed chaos scenario (oversubscription, churn, mid-epoch
+//! cancellation, a budget rejection) against it, and prints exactly one
+//! single-line `clm_serve_agent_v1` JSON report to stdout.  The
+//! `serve_bench` orchestrator spawns several of these as separate release
+//! processes and merges their histograms.
+//!
+//! Flags:
+//!
+//! * `--agent <n>` — agent index, mixed into the tenant seeds (default 0).
+
+use clm_bench::serve::{run_serve_agent, ServeScale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let agent = args
+        .iter()
+        .position(|a| a == "--agent")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+
+    let report = run_serve_agent(&ServeScale::smoke(), agent);
+    println!("{}", report.to_json());
+    ExitCode::SUCCESS
+}

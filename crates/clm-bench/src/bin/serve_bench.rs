@@ -1,0 +1,152 @@
+//! Orchestrator of the process-based serving benchmark.
+//!
+//! Spawns `--agents` copies of the sibling `serve_agent` binary as separate
+//! processes, parses the single-line `clm_serve_agent_v1` report each
+//! prints, merges the per-session latency histograms exactly (shared fixed
+//! bucket grid), and writes the fleet-wide `clm_serve_bench_v1` artefact
+//! with p50/p99/tail per-session latency to `--out` (default
+//! `BENCH_serve.json`).  Exits non-zero if any agent fails, any budget was
+//! violated, the churn legs did not produce evict → resume round trips, or
+//! the artefact fails the shape check.
+//!
+//! Flags:
+//!
+//! * `--agents <n>` — agent processes to spawn (default 2);
+//! * `--out <path>` — artefact path (default `BENCH_serve.json`).
+
+use clm_bench::serve::{looks_like_serve_json, parse_agent_report, AgentReport, ServeBench};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let agents: u64 = flag("--agents").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    // The agent binary sits next to this one in the target directory.
+    let agent_bin = match std::env::current_exe() {
+        Ok(me) => me.with_file_name(if cfg!(windows) {
+            "serve_agent.exe"
+        } else {
+            "serve_agent"
+        }),
+        Err(e) => {
+            eprintln!("serve_bench: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !agent_bin.exists() {
+        eprintln!(
+            "serve_bench: agent binary {} not built (build the workspace binaries first)",
+            agent_bin.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Spawn every agent first, then collect: the processes run their
+    // scenarios concurrently.
+    let mut children = Vec::new();
+    for agent in 0..agents {
+        let child = Command::new(&agent_bin)
+            .args(["--agent", &agent.to_string()])
+            .stdout(std::process::Stdio::piped())
+            .spawn();
+        match child {
+            Ok(c) => children.push((agent, c)),
+            Err(e) => {
+                eprintln!("serve_bench: spawning agent {agent}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut reports: Vec<AgentReport> = Vec::new();
+    for (agent, child) in children {
+        let output = match child.wait_with_output() {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("serve_bench: waiting for agent {agent}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !output.status.success() {
+            eprintln!("serve_bench: agent {agent} exited with {}", output.status);
+            return ExitCode::FAILURE;
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let line = match stdout.lines().find(|l| l.starts_with('{')) {
+            Some(l) => l,
+            None => {
+                eprintln!("serve_bench: agent {agent} printed no JSON line");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_agent_report(line) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("serve_bench: agent {agent} report unparseable ({e}): {line}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let bench = ServeBench::merge(reports);
+    let json = bench.to_json();
+    println!("{json}");
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("serve_bench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Gate 1: the artefact on disk is a well-formed single-line JSON with
+    // the percentile fields.
+    let written = match std::fs::read_to_string(&out_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve_bench: cannot re-read {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !looks_like_serve_json(&written) {
+        eprintln!("serve_bench: FAIL — {out_path} is malformed: {written}");
+        return ExitCode::FAILURE;
+    }
+    // Gate 2: no tenant exceeded its admitted staging budget.
+    if bench.budget_violations() > 0 {
+        eprintln!(
+            "serve_bench: FAIL — {} staging-budget violations across the fleet",
+            bench.budget_violations()
+        );
+        return ExitCode::FAILURE;
+    }
+    // Gate 3: the churn legs actually exercised evict → .clmckpt → resume.
+    if bench.resumes() < bench.agents.len() as u64 {
+        eprintln!(
+            "serve_bench: FAIL — only {} resumes across {} agents; churn leg vacuous",
+            bench.resumes(),
+            bench.agents.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    // Gate 4: latencies were actually measured.
+    if bench.latency.count() == 0 || bench.latency.max() <= 0.0 {
+        eprintln!("serve_bench: FAIL — empty merged latency histogram");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "serve_bench: serving gate passed ({} agents, {} sessions, {} batches, \
+         p50 {:.3} ms / p99 {:.3} ms virtual, {} resumes, 0 budget violations)",
+        bench.agents.len(),
+        bench.agents.iter().map(|a| a.sessions.len()).sum::<usize>(),
+        bench.batches(),
+        bench.latency.quantile(0.5) * 1e3,
+        bench.latency.quantile(0.99) * 1e3,
+        bench.resumes(),
+    );
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,7 @@
 pub mod chaos;
 pub mod kernels;
 pub mod runtime_reports;
+pub mod serve;
 pub mod trace;
 pub mod wallclock;
 
@@ -23,6 +24,9 @@ pub use kernels::{
 pub use runtime_reports::{
     runtime_summary_figure11, runtime_summary_figure12, runtime_summary_figure13,
     runtime_summary_figure15, runtime_summary_table7,
+};
+pub use serve::{
+    looks_like_serve_json, parse_agent_report, run_serve_agent, AgentReport, ServeBench, ServeScale,
 };
 pub use trace::{record_trace, TRACE_BACKENDS};
 pub use wallclock::{run_wallclock_bench, WallclockBench, WallclockScale};

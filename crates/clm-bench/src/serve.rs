@@ -1,0 +1,864 @@
+//! Process-based multi-tenant serving benchmark: the machinery behind
+//! `serve_agent`, `serve_bench` and the CI `serve-smoke` job.
+//!
+//! The harness follows the WIND shape: an orchestrator (`serve_bench`)
+//! spawns N release-binary **agent processes** (`serve_agent`), each of
+//! which boots a full [`ClmServe`] instance, drives a fixed chaos scenario
+//! — oversubscription with queue drain, tenant churn (evict → `.clmckpt` →
+//! resume), a mid-epoch cancellation, a budget rejection — and prints one
+//! single-line `clm_serve_agent_v1` JSON report to stdout.  The
+//! orchestrator parses the lines, **merges** the per-session latency
+//! histograms exactly (every process buckets on the same fixed grid), and
+//! writes the `clm_serve_bench_v1` artefact (`BENCH_serve.json`) with
+//! p50/p99/tail latency per session and fleet-wide.
+//!
+//! Latencies come from the service's virtual timeline (simulated device
+//! seconds, deterministic per agent index); wall-clock histograms ride
+//! alongside for the host-side cost.
+
+use clm_core::{SystemKind, TrainConfig};
+use clm_serve::{
+    AdmitError, ClmServe, FairnessConfig, LatencyHistogram, SceneRegistry, ServeConfig, SessionId,
+    SessionState, StepOutcome, TenantSpec,
+};
+use gs_scene::{DatasetConfig, InitConfig, SceneKind};
+
+/// Workload size of one serve agent.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeScale {
+    /// Gaussians in each synthetic scene.
+    pub scene_gaussians: usize,
+    /// Camera views per scene.
+    pub views: usize,
+    /// Render width/height in pixels.
+    pub width: u32,
+    /// Render height in pixels.
+    pub height: u32,
+    /// Gaussians each tenant's model starts with.
+    pub init_gaussians: usize,
+    /// Views per batch.
+    pub batch_size: usize,
+    /// Batches each tenant trains.
+    pub target_batches: usize,
+    /// Workload seed (scene generation is shared across agents; tenant
+    /// seeds additionally mix in the agent index).
+    pub seed: u64,
+}
+
+impl ServeScale {
+    /// The CI configuration: small enough for seconds per agent, large
+    /// enough that the scenario exercises queueing, churn and cancellation.
+    pub fn smoke() -> Self {
+        ServeScale {
+            scene_gaussians: 220,
+            views: 8,
+            width: 32,
+            height: 24,
+            init_gaussians: 90,
+            batch_size: 4,
+            target_batches: 6,
+            seed: 47,
+        }
+    }
+}
+
+/// Number of tenants each agent admits (two of them start queued).
+pub const TENANTS_PER_AGENT: usize = 6;
+
+/// Active slots per agent service (< [`TENANTS_PER_AGENT`], forcing
+/// oversubscription).
+pub const ACTIVE_SLOTS: usize = 4;
+
+fn agent_registry(scale: &ServeScale) -> SceneRegistry {
+    let mut registry = SceneRegistry::new();
+    let config = DatasetConfig {
+        num_gaussians: scale.scene_gaussians,
+        num_views: scale.views,
+        width: scale.width,
+        height: scale.height,
+        seed: scale.seed,
+    };
+    registry.register("urban", SceneKind::Bicycle, config);
+    registry.register(
+        "rubble",
+        SceneKind::Rubble,
+        DatasetConfig {
+            seed: scale.seed + 1,
+            ..config
+        },
+    );
+    registry
+}
+
+fn tenant_spec(scale: &ServeScale, agent: u64, i: usize) -> TenantSpec {
+    let scene = if i.is_multiple_of(2) {
+        "urban"
+    } else {
+        "rubble"
+    };
+    let seed = scale.seed + 100 * agent + i as u64;
+    let mut spec = TenantSpec::new(
+        &format!("t{i}"),
+        scene,
+        TrainConfig {
+            system: SystemKind::Clm,
+            batch_size: scale.batch_size,
+            seed,
+            ..Default::default()
+        },
+        InitConfig {
+            num_gaussians: scale.init_gaussians,
+            initial_opacity: 0.3,
+            seed: seed + 1,
+            ..Default::default()
+        },
+    );
+    spec.target_batches = scale.target_batches;
+    match i {
+        // Tenant 1 is the hog: paper-scale (bandwidth-bound) batch costs
+        // and double weight — fairness must still bound everyone else.
+        1 => {
+            spec.cost_scale = 6.0;
+            spec.weight = 2.0;
+        }
+        // Tenant 2 runs under a tight staging budget (2 buffers) with an
+        // oversized window request, exercising the admission clamp.
+        2 => {
+            spec.prefetch_window = 5;
+            spec.staging_budget_bytes = Some(2 * spec.buffer_bytes());
+        }
+        // Tenant 4 is light-weight (half share) and queued at admission.
+        4 => spec.weight = 0.5,
+        _ => {}
+    }
+    spec
+}
+
+/// One session's slice of an agent report.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Agent process index the session ran in.
+    pub agent: u64,
+    /// Tenant name.
+    pub tenant: String,
+    /// Scene name.
+    pub scene: String,
+    /// Final lifecycle state (`Completed` or `Cancelled`).
+    pub state: String,
+    /// Batches trained.
+    pub batches: u64,
+    /// Evictions the session survived.
+    pub evictions: u64,
+    /// Resumes the session survived.
+    pub resumes: u64,
+    /// Budget violations observed (must be 0).
+    pub budget_violations: u64,
+    /// Virtual-timeline per-batch latency.
+    pub latency: LatencyHistogram,
+    /// Wall-clock per-batch latency.
+    pub wall: LatencyHistogram,
+}
+
+/// Everything one agent process measured.
+#[derive(Debug, Clone)]
+pub struct AgentReport {
+    /// Agent process index.
+    pub agent: u64,
+    /// Per-session measurements in admission order.
+    pub sessions: Vec<SessionReport>,
+    /// Total batches the service ran.
+    pub batches: u64,
+    /// Admission rejections (the scenario provokes exactly one).
+    pub rejected: u64,
+    /// Sessions cancelled (the scenario provokes exactly one).
+    pub cancelled: u64,
+    /// Final virtual time of the service, in device seconds.
+    pub virtual_seconds: f64,
+}
+
+/// Runs the fixed chaos scenario in-process and returns the agent report.
+///
+/// Scenario, deterministic per `(scale, agent)`:
+/// 1. admit [`TENANTS_PER_AGENT`] tenants into [`ACTIVE_SLOTS`] slots
+///    (the surplus queue — oversubscription);
+/// 2. reject one tenant whose budget cannot hold a single buffer;
+/// 3. at one third of tenant 0's run, evict it (churn) — the freed slot
+///    drains the queue — and resume it as soon as a slot frees;
+/// 4. at half of tenant 3's run, cancel it mid-epoch;
+/// 5. drain until every session completes.
+pub fn run_serve_agent(scale: &ServeScale, agent: u64) -> AgentReport {
+    let registry = agent_registry(scale);
+    let mut serve = ClmServe::new(
+        registry,
+        ServeConfig {
+            max_active: ACTIVE_SLOTS,
+            max_queued: TENANTS_PER_AGENT,
+            fairness: FairnessConfig::default(),
+            default_staging_budget: None,
+        },
+    );
+
+    let ids: Vec<SessionId> = (0..TENANTS_PER_AGENT)
+        .map(|i| {
+            serve
+                .admit(tenant_spec(scale, agent, i))
+                .expect("scenario tenants admit cleanly")
+                .id()
+        })
+        .collect();
+
+    // A tenant whose budget is below one worst-case buffer must be refused.
+    let mut broke = tenant_spec(scale, agent, 0);
+    broke.tenant = "broke".into();
+    broke.staging_budget_bytes = Some(broke.buffer_bytes() - 1);
+    assert!(matches!(
+        serve.admit(broke),
+        Err(AdmitError::BudgetTooSmall { .. })
+    ));
+
+    let churn_victim = ids[0];
+    let cancel_victim = ids[3];
+    let churn_at = (scale.target_batches / 3).max(1) as u64;
+    let cancel_at = (scale.target_batches / 2).max(1) as u64;
+    let mut churned = false;
+    let mut cancelled = false;
+
+    let step_guard = (TENANTS_PER_AGENT * scale.target_batches * 20) as u64;
+    let mut steps = 0u64;
+    let mut iters = 0u64;
+    while !serve.all_done() && iters < step_guard {
+        iters += 1;
+        // Resume any evicted session the moment a slot is free.
+        let evicted: Vec<SessionId> = serve
+            .session_ids()
+            .into_iter()
+            .filter(|&id| serve.session(id).map(|s| s.state) == Some(SessionState::Evicted))
+            .collect();
+        for id in evicted {
+            if serve.resume(id).is_ok() {
+                break;
+            }
+        }
+        match serve.step() {
+            StepOutcome::Ran { .. } => steps += 1,
+            StepOutcome::Idle => {
+                // Every active slot drained while sessions still wait
+                // evicted; loop to resume them.
+                continue;
+            }
+        }
+        if !churned
+            && serve.session(churn_victim).map(|s| s.stats.batches) >= Some(churn_at)
+            && serve.session(churn_victim).map(|s| s.state) == Some(SessionState::Active)
+        {
+            serve.evict(churn_victim).expect("churn eviction");
+            churned = true;
+        }
+        if !cancelled
+            && serve.session(cancel_victim).map(|s| s.stats.batches) >= Some(cancel_at)
+            && serve.session(cancel_victim).map(|s| s.state) == Some(SessionState::Active)
+        {
+            serve.cancel(cancel_victim).expect("mid-epoch cancellation");
+            cancelled = true;
+        }
+    }
+    assert!(
+        serve.all_done(),
+        "scenario failed to drain in {steps} steps"
+    );
+    assert!(churned && cancelled, "scenario triggers did not fire");
+
+    let sessions = ids
+        .iter()
+        .map(|&id| {
+            let s = serve.session(id).expect("session retained");
+            SessionReport {
+                agent,
+                tenant: s.spec.tenant.clone(),
+                scene: s.spec.scene.clone(),
+                state: format!("{:?}", s.state),
+                batches: s.stats.batches,
+                evictions: s.stats.evictions,
+                resumes: s.stats.resumes,
+                budget_violations: s.stats.budget_violations,
+                latency: s.stats.latency.clone(),
+                wall: s.stats.wall_latency.clone(),
+            }
+        })
+        .collect();
+    AgentReport {
+        agent,
+        sessions,
+        batches: serve.stats().batches,
+        rejected: serve.stats().rejected,
+        cancelled: serve.stats().cancelled,
+        virtual_seconds: serve.virtual_now(),
+    }
+}
+
+impl AgentReport {
+    /// The single-line `clm_serve_agent_v1` JSON an agent process prints.
+    pub fn to_json(&self) -> String {
+        let sessions: Vec<String> = self
+            .sessions
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"tenant\":\"{}\",\"scene\":\"{}\",\"state\":\"{}\",\"batches\":{},\
+                     \"evictions\":{},\"resumes\":{},\"budget_violations\":{},\
+                     \"latency\":{},\"wall\":{}}}",
+                    s.tenant,
+                    s.scene,
+                    s.state,
+                    s.batches,
+                    s.evictions,
+                    s.resumes,
+                    s.budget_violations,
+                    s.latency.to_json(),
+                    s.wall.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"clm_serve_agent_v1\",\"agent\":{},\"batches\":{},\"rejected\":{},\
+             \"cancelled\":{},\"virtual_seconds\":{:.9},\"sessions\":[{}]}}",
+            self.agent,
+            self.batches,
+            self.rejected,
+            self.cancelled,
+            self.virtual_seconds,
+            sessions.join(",")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the orchestrator side (no serde in this tree).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (numbers as `f64`; ample for the agent reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string (escapes `\"` `\\` `\n` `\t` only — all the writer emits).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member of an object, by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer.
+    pub fn u64(&self) -> Option<u64> {
+        self.num()
+            .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+            .map(|n| n as u64)
+    }
+
+    /// The value as a string slice.
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, b"true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, b"null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at {}", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = bytes.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    _ => return Err(format!("unsupported escape at {}", *pos)),
+                }
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at {start}"))
+}
+
+fn histogram_from_json(value: &Json) -> Result<LatencyHistogram, String> {
+    let count = value
+        .get("count")
+        .and_then(Json::u64)
+        .ok_or("histogram missing count")?;
+    let sum = value
+        .get("sum_s")
+        .and_then(Json::num)
+        .ok_or("histogram missing sum_s")?;
+    let min = value
+        .get("min_s")
+        .and_then(Json::num)
+        .ok_or("histogram missing min_s")?;
+    let max = value
+        .get("max_s")
+        .and_then(Json::num)
+        .ok_or("histogram missing max_s")?;
+    let mut buckets = Vec::new();
+    for pair in value
+        .get("buckets")
+        .and_then(Json::arr)
+        .ok_or("histogram missing buckets")?
+    {
+        let pair = pair.arr().ok_or("bucket is not a pair")?;
+        if pair.len() != 2 {
+            return Err("bucket is not a pair".into());
+        }
+        let i = pair[0].u64().ok_or("bad bucket index")? as usize;
+        let c = pair[1].u64().ok_or("bad bucket count")?;
+        buckets.push((i, c));
+    }
+    LatencyHistogram::from_sparse(count, sum, min, max, &buckets)
+        .ok_or_else(|| "inconsistent histogram parts".into())
+}
+
+/// Parses one agent process's stdout line back into an [`AgentReport`].
+pub fn parse_agent_report(line: &str) -> Result<AgentReport, String> {
+    let root = Json::parse(line.trim())?;
+    if root.get("schema").and_then(Json::str) != Some("clm_serve_agent_v1") {
+        return Err("not a clm_serve_agent_v1 line".into());
+    }
+    let agent = root
+        .get("agent")
+        .and_then(Json::u64)
+        .ok_or("missing agent")?;
+    let mut sessions = Vec::new();
+    for s in root
+        .get("sessions")
+        .and_then(Json::arr)
+        .ok_or("missing sessions")?
+    {
+        sessions.push(SessionReport {
+            agent,
+            tenant: s
+                .get("tenant")
+                .and_then(Json::str)
+                .ok_or("missing tenant")?
+                .to_string(),
+            scene: s
+                .get("scene")
+                .and_then(Json::str)
+                .ok_or("missing scene")?
+                .to_string(),
+            state: s
+                .get("state")
+                .and_then(Json::str)
+                .ok_or("missing state")?
+                .to_string(),
+            batches: s
+                .get("batches")
+                .and_then(Json::u64)
+                .ok_or("missing batches")?,
+            evictions: s
+                .get("evictions")
+                .and_then(Json::u64)
+                .ok_or("missing evictions")?,
+            resumes: s
+                .get("resumes")
+                .and_then(Json::u64)
+                .ok_or("missing resumes")?,
+            budget_violations: s
+                .get("budget_violations")
+                .and_then(Json::u64)
+                .ok_or("missing budget_violations")?,
+            latency: histogram_from_json(s.get("latency").ok_or("missing latency")?)?,
+            wall: histogram_from_json(s.get("wall").ok_or("missing wall")?)?,
+        });
+    }
+    Ok(AgentReport {
+        agent,
+        sessions,
+        batches: root
+            .get("batches")
+            .and_then(Json::u64)
+            .ok_or("missing batches")?,
+        rejected: root
+            .get("rejected")
+            .and_then(Json::u64)
+            .ok_or("missing rejected")?,
+        cancelled: root
+            .get("cancelled")
+            .and_then(Json::u64)
+            .ok_or("missing cancelled")?,
+        virtual_seconds: root
+            .get("virtual_seconds")
+            .and_then(Json::num)
+            .ok_or("missing virtual_seconds")?,
+    })
+}
+
+/// The merged fleet-wide report behind `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Agent reports in agent order.
+    pub agents: Vec<AgentReport>,
+    /// Merged virtual-timeline latency across every session.
+    pub latency: LatencyHistogram,
+    /// Merged wall-clock latency across every session.
+    pub wall: LatencyHistogram,
+}
+
+impl ServeBench {
+    /// Merges parsed agent reports (exact: shared fixed bucket grid).
+    pub fn merge(agents: Vec<AgentReport>) -> ServeBench {
+        let mut latency = LatencyHistogram::new();
+        let mut wall = LatencyHistogram::new();
+        for agent in &agents {
+            for s in &agent.sessions {
+                latency.merge(&s.latency);
+                wall.merge(&s.wall);
+            }
+        }
+        ServeBench {
+            agents,
+            latency,
+            wall,
+        }
+    }
+
+    /// Total batches across the fleet.
+    pub fn batches(&self) -> u64 {
+        self.agents.iter().map(|a| a.batches).sum()
+    }
+
+    /// Total budget violations across the fleet (must be 0).
+    pub fn budget_violations(&self) -> u64 {
+        self.agents
+            .iter()
+            .flat_map(|a| &a.sessions)
+            .map(|s| s.budget_violations)
+            .sum()
+    }
+
+    /// Total evict → resume round trips across the fleet.
+    pub fn resumes(&self) -> u64 {
+        self.agents
+            .iter()
+            .flat_map(|a| &a.sessions)
+            .map(|s| s.resumes)
+            .sum()
+    }
+
+    /// The single-line `clm_serve_bench_v1` artefact (`BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        let percentiles = |h: &LatencyHistogram| {
+            format!(
+                "{{\"count\":{},\"p50_s\":{:.9},\"p90_s\":{:.9},\"p99_s\":{:.9},\
+                 \"max_s\":{:.9},\"mean_s\":{:.9}}}",
+                h.count(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.max(),
+                h.mean()
+            )
+        };
+        let per_session: Vec<String> = self
+            .agents
+            .iter()
+            .flat_map(|a| &a.sessions)
+            .map(|s| {
+                format!(
+                    "{{\"agent\":{},\"tenant\":\"{}\",\"scene\":\"{}\",\"state\":\"{}\",\
+                     \"batches\":{},\"evictions\":{},\"resumes\":{},\"budget_violations\":{},\
+                     \"latency\":{}}}",
+                    s.agent,
+                    s.tenant,
+                    s.scene,
+                    s.state,
+                    s.batches,
+                    s.evictions,
+                    s.resumes,
+                    s.budget_violations,
+                    percentiles(&s.latency)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"clm_serve_bench_v1\",\"agents\":{},\"sessions\":{},\"batches\":{},\
+             \"rejected\":{},\"cancelled\":{},\"resumes\":{},\"budget_violations\":{},\
+             \"latency\":{},\"wall_latency\":{},\"per_session\":[{}]}}",
+            self.agents.len(),
+            self.agents.iter().map(|a| a.sessions.len()).sum::<usize>(),
+            self.batches(),
+            self.agents.iter().map(|a| a.rejected).sum::<u64>(),
+            self.agents.iter().map(|a| a.cancelled).sum::<u64>(),
+            self.resumes(),
+            self.budget_violations(),
+            percentiles(&self.latency),
+            percentiles(&self.wall),
+            per_session.join(",")
+        )
+    }
+}
+
+/// Shape check for the `clm_serve_bench_v1` artefact: single line, right
+/// schema, carries the percentile fields and the per-session list.
+pub fn looks_like_serve_json(text: &str) -> bool {
+    let line = text.trim_end_matches('\n');
+    !line.contains('\n')
+        && line.starts_with("{\"schema\":\"clm_serve_bench_v1\",")
+        && line.ends_with("]}")
+        && line.contains("\"p50_s\":")
+        && line.contains("\"p99_s\":")
+        && line.contains("\"per_session\":[")
+        && line.contains("\"wall_latency\":")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_reader_round_trips_values() {
+        let doc = r#"{"a":1,"b":[1,2.5,-3e-2],"c":"x\"y","d":{"e":null,"f":true},"g":[]}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("a").and_then(Json::u64), Some(1));
+        assert_eq!(v.get("b").and_then(Json::arr).map(<[Json]>::len), Some(3));
+        assert_eq!(v.get("c").and_then(Json::str), Some("x\"y"));
+        assert_eq!(v.get("d").and_then(|d| d.get("e")), Some(&Json::Null));
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{}extra").is_err());
+    }
+
+    #[test]
+    fn agent_report_json_round_trips() {
+        let scale = ServeScale {
+            target_batches: 3,
+            ..ServeScale::smoke()
+        };
+        let report = run_serve_agent(&scale, 0);
+        let line = report.to_json();
+        assert!(!line.contains('\n'));
+        let parsed = parse_agent_report(&line).expect("parse own output");
+        assert_eq!(parsed.agent, report.agent);
+        assert_eq!(parsed.batches, report.batches);
+        assert_eq!(parsed.sessions.len(), report.sessions.len());
+        for (a, b) in parsed.sessions.iter().zip(&report.sessions) {
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.batches, b.batches);
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.wall.count(), b.wall.count());
+        }
+    }
+
+    #[test]
+    fn scenario_covers_churn_cancel_queue_and_budgets() {
+        let scale = ServeScale {
+            target_batches: 4,
+            ..ServeScale::smoke()
+        };
+        let report = run_serve_agent(&scale, 1);
+        assert_eq!(report.sessions.len(), TENANTS_PER_AGENT);
+        assert_eq!(report.rejected, 1, "budget rejection fires");
+        assert_eq!(report.cancelled, 1, "mid-epoch cancellation fires");
+        let churned = &report.sessions[0];
+        assert!(
+            churned.evictions >= 1 && churned.resumes >= 1,
+            "churn fires"
+        );
+        assert_eq!(churned.state, "Completed");
+        let cancelled = report.sessions.iter().find(|s| s.state == "Cancelled");
+        assert!(cancelled.is_some(), "one session ends cancelled");
+        assert_eq!(
+            report
+                .sessions
+                .iter()
+                .map(|s| s.budget_violations)
+                .sum::<u64>(),
+            0
+        );
+        // Everyone else completed their full target.
+        for s in &report.sessions {
+            if s.state == "Completed" {
+                assert_eq!(s.batches, 4, "{} shortchanged", s.tenant);
+            }
+        }
+        assert!(report.virtual_seconds > 0.0);
+    }
+
+    #[test]
+    fn merge_and_artefact_shape() {
+        let scale = ServeScale {
+            target_batches: 3,
+            ..ServeScale::smoke()
+        };
+        let lines: Vec<String> = (0..2)
+            .map(|a| run_serve_agent(&scale, a).to_json())
+            .collect();
+        let agents: Vec<AgentReport> = lines
+            .iter()
+            .map(|l| parse_agent_report(l).unwrap())
+            .collect();
+        let merged = ServeBench::merge(agents);
+        let total: u64 = merged
+            .agents
+            .iter()
+            .flat_map(|a| &a.sessions)
+            .map(|s| s.latency.count())
+            .sum();
+        assert_eq!(merged.latency.count(), total, "merge keeps every sample");
+        assert!(merged.latency.quantile(0.5) <= merged.latency.quantile(0.99));
+        let artefact = merged.to_json();
+        assert!(
+            looks_like_serve_json(&artefact),
+            "artefact shape: {artefact}"
+        );
+        assert!(!looks_like_serve_json("{\"schema\":\"other\"}"));
+    }
+}

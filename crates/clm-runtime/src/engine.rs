@@ -253,6 +253,15 @@ impl PipelinedEngine {
         self.pool.stats()
     }
 
+    /// Caps the pinned staging pool at `limit` simultaneously checked-out
+    /// buffers (`None` removes the cap).  A multi-tenant host enforces
+    /// per-session pinned-memory budgets through this seam: the serving
+    /// layer clamps the prefetch window so the cap is never reached, and the
+    /// pool's high-water/`denied` accounting proves it.
+    pub fn set_staging_capacity(&mut self, limit: Option<usize>) {
+        self.pool.set_capacity_limit(limit);
+    }
+
     /// The adaptive-window state (tracked fetch/compute ratios), e.g. for
     /// recording into a [`WarmStartCache`](crate::WarmStartCache).
     pub fn window_selector(&self) -> &WindowSelector {

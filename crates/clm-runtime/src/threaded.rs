@@ -209,6 +209,13 @@ impl ThreadedBackend {
         self.pool.stats()
     }
 
+    /// Caps the pinned staging pool at `limit` simultaneously checked-out
+    /// buffers (`None` removes the cap) — the per-tenant pinned-memory
+    /// budget seam used by the serving layer.
+    pub fn set_staging_capacity(&mut self, limit: Option<usize>) {
+        self.pool.set_capacity_limit(limit);
+    }
+
     /// The adaptive-window state (tracked fetch/compute ratios), e.g. for
     /// recording into a [`WarmStartCache`](crate::WarmStartCache).
     pub fn window_selector(&self) -> &WindowSelector {

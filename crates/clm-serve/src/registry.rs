@@ -1,0 +1,123 @@
+//! The scene registry: the fleet of scenes a service instance owns.
+//!
+//! Tenants reference scenes by name; the registry generates each scene's
+//! synthetic dataset and ground-truth images **once** and shares them
+//! immutably (`Arc`) across every session training on that scene.  Datasets
+//! are pure functions of `(SceneSpec, DatasetConfig)`, so two service
+//! replicas registering the same entry serve bit-identical workloads — the
+//! property the process-based bench harness and the conformance suite lean
+//! on.
+
+use clm_core::ground_truth_images;
+use gs_render::Image;
+use gs_scene::{generate_dataset, Dataset, DatasetConfig, SceneKind, SceneSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One registered scene: its paper spec, generator configuration, and the
+/// generated dataset plus rendered ground-truth targets, shared immutably
+/// by every session training on it.
+#[derive(Debug)]
+pub struct SceneEntry {
+    /// Registry name the scene was registered under.
+    pub name: String,
+    /// The paper scene this dataset mimics.
+    pub spec: SceneSpec,
+    /// Generator configuration the dataset was built from.
+    pub config: DatasetConfig,
+    /// The generated synthetic dataset (cameras, ground-truth splats).
+    pub dataset: Dataset,
+    /// Rendered ground-truth images, one per camera.
+    pub targets: Vec<Image>,
+}
+
+impl SceneEntry {
+    /// Number of camera views in the scene.
+    pub fn num_views(&self) -> usize {
+        self.dataset.cameras.len()
+    }
+}
+
+/// A name → scene map with deterministic iteration order.
+#[derive(Debug, Default)]
+pub struct SceneRegistry {
+    scenes: BTreeMap<String, Arc<SceneEntry>>,
+}
+
+impl SceneRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates and registers a scene under `name`, replacing any previous
+    /// entry with that name.  Returns the shared entry.
+    pub fn register(
+        &mut self,
+        name: &str,
+        kind: SceneKind,
+        config: DatasetConfig,
+    ) -> Arc<SceneEntry> {
+        let spec = SceneSpec::of(kind);
+        let dataset = generate_dataset(&spec, &config);
+        let targets = ground_truth_images(&dataset);
+        let entry = Arc::new(SceneEntry {
+            name: name.to_string(),
+            spec,
+            config,
+            dataset,
+            targets,
+        });
+        self.scenes.insert(name.to_string(), entry.clone());
+        entry
+    }
+
+    /// Looks a scene up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<SceneEntry>> {
+        self.scenes.get(name).cloned()
+    }
+
+    /// Registered scene names in sorted order.
+    pub fn names(&self) -> Vec<&str> {
+        self.scenes.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered scenes.
+    pub fn len(&self) -> usize {
+        self.scenes.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_generates_shared_deterministic_scenes() {
+        let config = DatasetConfig {
+            num_gaussians: 120,
+            num_views: 6,
+            width: 24,
+            height: 18,
+            seed: 5,
+        };
+        let mut a = SceneRegistry::new();
+        let mut b = SceneRegistry::new();
+        let ea = a.register("bike", SceneKind::Bicycle, config);
+        let eb = b.register("bike", SceneKind::Bicycle, config);
+        assert_eq!(ea.num_views(), 6);
+        assert_eq!(ea.dataset.ground_truth, eb.dataset.ground_truth);
+        assert_eq!(ea.targets, eb.targets);
+        // Lookup shares, never regenerates.
+        assert!(Arc::ptr_eq(&ea, &a.get("bike").unwrap()));
+        assert!(a.get("nope").is_none());
+        assert_eq!(a.names(), vec!["bike"]);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+}

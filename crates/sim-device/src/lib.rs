@@ -31,6 +31,7 @@
 //!               profile.backward_time(10_000, 256 * 256), &[fwd]);
 //! assert!(timeline.makespan() > 0.0);
 //! ```
+#![warn(missing_docs)]
 
 pub mod device;
 pub mod fault;

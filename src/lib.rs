@@ -14,9 +14,13 @@
 //!   trainers on the simulated device timeline.
 //! * [`clm_trace`] — op-trace capture/replay containers and the `.clmckpt`
 //!   checkpoint format.
+//! * [`clm_serve`] — the multi-tenant training service: scene registry,
+//!   per-session jobs, fairness scheduling, admission control and
+//!   checkpoint-based evict/resume.
 
 pub use clm_core;
 pub use clm_runtime;
+pub use clm_serve;
 pub use clm_trace;
 pub use gs_core;
 pub use gs_optim;

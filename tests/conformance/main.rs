@@ -11,6 +11,7 @@
 
 mod chaos;
 mod harness;
+mod serve;
 
 use clm_repro::clm_core::SystemKind;
 use clm_repro::clm_runtime::{
