@@ -1,0 +1,123 @@
+//! Host-topology and autotune probe binary.
+//!
+//! Probes the host (vendor, core topology, caches, cgroup CPU quota), runs
+//! the startup calibration, derives the tuned knob defaults, and emits the
+//! combined record as single-line JSON to stdout — the same `host_topo` and
+//! `autotune` sections `BENCH_runtime.json` embeds, without the multi-second
+//! training run around them.  CI's `autotune-smoke` job runs this to check
+//! that autotuning lands in sane bounds on whatever runner it got.
+//!
+//! Exit status is non-zero when any derived knob escapes its documented
+//! range, so the binary doubles as the autotune sanity gate:
+//!
+//! * `compute_threads` and `adam_threads` in `1 ..= effective_cores` —
+//!   in particular, a cgroup quota must cap them (the bug where a 2-CPU
+//!   container tuned 64 workers);
+//! * `adam_chunk_rows` in `256 ..= 16_384`;
+//! * `band_height` a non-zero multiple of the rasteriser tile size;
+//! * `prefetch_window` in `1 ..= 8`;
+//! * every calibrated throughput strictly positive, with the whole
+//!   calibration finishing inside its startup budget.
+//!
+//! Flags: `--out <path>` additionally writes the JSON to a file.
+
+use gs_render::TILE_SIZE;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let topo = sim_device::HostTopology::cached();
+    let tuned = clm_runtime::tuned();
+    let json = format!(
+        "{{\"probe\":\"autotune\",\"host_topo\":{},\"autotune\":{}}}",
+        topo.to_json(),
+        tuned.to_json(),
+    );
+    println!("{json}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("autotune_probe: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let effective = topo.effective_cores();
+    let k = &tuned.knobs;
+    let cal = &tuned.calibration;
+    let mut failures = Vec::new();
+    if !(1..=effective).contains(&k.compute_threads) {
+        failures.push(format!(
+            "compute_threads={} outside 1..={effective} (effective cores)",
+            k.compute_threads,
+        ));
+    }
+    if !(1..=effective).contains(&k.adam_threads) {
+        failures.push(format!(
+            "adam_threads={} outside 1..={effective} (effective cores)",
+            k.adam_threads,
+        ));
+    }
+    if !(256..=16_384).contains(&k.adam_chunk_rows) {
+        failures.push(format!(
+            "adam_chunk_rows={} outside 256..=16384",
+            k.adam_chunk_rows
+        ));
+    }
+    if k.band_height == 0 || !k.band_height.is_multiple_of(TILE_SIZE) {
+        failures.push(format!(
+            "band_height={} is not a non-zero multiple of the {TILE_SIZE}-pixel tile",
+            k.band_height,
+        ));
+    }
+    if !(1..=8).contains(&k.prefetch_window) {
+        failures.push(format!(
+            "prefetch_window={} outside 1..=8",
+            k.prefetch_window
+        ));
+    }
+    for (name, rate) in [
+        ("adam_rows_per_s", cal.adam_rows_per_s),
+        ("raster_rows_per_s", cal.raster_rows_per_s),
+        ("gather_rows_per_s", cal.gather_rows_per_s),
+    ] {
+        if !(rate.is_finite() && rate > 0.0) {
+            failures.push(format!("calibration {name}={rate} is not positive"));
+        }
+    }
+    // Generous multiple of the per-path budget: calibration is a startup
+    // cost every training process pays, so it must stay in the tens of
+    // milliseconds even on a loaded single-core runner.
+    if !(cal.wall_ms.is_finite() && cal.wall_ms < 2_000.0) {
+        failures.push(format!(
+            "calibration took {} ms (budget blown)",
+            cal.wall_ms
+        ));
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "autotune_probe: ok — {} => compute_threads={}, adam_threads={}, \
+             adam_chunk_rows={}, band_height={}, prefetch_window={} \
+             (calibrated in {:.1} ms)",
+            topo.fingerprint(),
+            k.compute_threads,
+            k.adam_threads,
+            k.adam_chunk_rows,
+            k.band_height,
+            k.prefetch_window,
+            cal.wall_ms,
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("autotune_probe: FAIL — {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -25,8 +25,14 @@
 //! * `--devices <n>` — simulated devices for the `sharded` entry
 //!   (default 1; CI's matrix runs 1, 2 and 4).
 //! * `--compute-threads <n>` — band workers for the `threaded_parallel`
-//!   entry (default: the host's detected parallelism).
+//!   entry (default: the host's autotuned, cgroup-quota-aware
+//!   parallelism).
 //! * `--out <path>` — where to write the JSON artefact.
+//!
+//! The artefact embeds the probed host topology and the startup-calibration
+//! record (`host_topo` / `autotune` sections), so a number can always be
+//! traced back to the hardware — and the effective CPU budget — it was
+//! measured on.
 
 use clm_bench::wallclock::{looks_like_bench_json, run_wallclock_bench, WallclockScale};
 use std::process::ExitCode;

@@ -99,6 +99,7 @@ fn runtime_config(scale: &WallclockScale, model_len: usize, devices: usize) -> R
         cost_scale: 45_200_000.0 / model_len as f64,
         pixel_cost_scale: (1920.0 * 1080.0) / (scale.width as f64 * scale.height as f64),
         compute_threads: 0,
+        band_height: 0,
         num_devices: devices,
         warm_start_ratio: None,
     }

@@ -66,7 +66,7 @@ pub struct WallclockScale {
     /// Prefetch lookahead window.
     pub prefetch_window: usize,
     /// Band workers for the `threaded_parallel` compute dimension
-    /// (0 = auto-detect the host's available parallelism).
+    /// (0 = the host's autotuned, cgroup-aware parallelism).
     pub compute_threads: usize,
     /// Simulated devices for the `sharded` entry (CI's shard matrix runs
     /// 1, 2 and 4).
@@ -136,13 +136,13 @@ impl WallclockScale {
     }
 
     /// The band-worker count the `threaded_parallel` run actually uses:
-    /// the configured `compute_threads`, or the host's detected
-    /// parallelism when 0.
+    /// the configured `compute_threads`, or the autotuned (cgroup-aware)
+    /// default when 0.
     pub fn effective_compute_threads(&self) -> usize {
         if self.compute_threads > 0 {
             self.compute_threads
         } else {
-            detect_host_cores()
+            clm_runtime::tuned().knobs.compute_threads
         }
     }
 }
@@ -312,8 +312,15 @@ impl BackendMeasurement {
 pub struct WallclockBench {
     /// The workload that ran.
     pub scale: WallclockScale,
-    /// Host cores available to the threaded backend.
+    /// Host cores available to the threaded backend (cgroup-effective).
     pub host_cores: usize,
+    /// The probed host topology the run tuned itself to (the artefact's
+    /// `host_topo` section).
+    pub host_topo: sim_device::HostTopology,
+    /// The startup calibration and the knob defaults it derived (the
+    /// artefact's `autotune` section).  The run's actual knobs may differ
+    /// where the scale overrides them.
+    pub autotune: clm_runtime::Autotune,
     /// Band workers the `threaded_parallel` entry ran with.
     pub compute_threads: usize,
     /// Simulated devices the `sharded` entry ran with.
@@ -378,13 +385,12 @@ impl WallclockBench {
     }
 
     /// Caveat attached to the artefact when the host cannot actually
-    /// overlap lanes: on one core the threaded entries time-slice, so their
-    /// speedups under-represent a multi-core run.  `None` on ≥ 2 cores.
-    pub fn perf_note(&self) -> Option<&'static str> {
-        (self.host_cores == 1).then_some(
-            "single-core host: threaded lanes time-slice instead of overlapping; \
-             measured speedups under-represent multi-core hardware",
-        )
+    /// deliver the run's parallelism: on one core the threaded entries
+    /// time-slice, and under a cgroup quota smaller than the configured
+    /// `compute_threads` the band workers oversubscribe.  `None` when the
+    /// host backs the configuration (see [`perf_note_for`]).
+    pub fn perf_note(&self) -> Option<String> {
+        perf_note_for(self.host_cores, self.compute_threads)
     }
 
     /// Serialises the result as a single-line JSON object.
@@ -402,6 +408,7 @@ impl WallclockBench {
         format!(
             "{{\"bench\":\"runtime_wallclock\",\"scale\":\"{}\",\"host_cores\":{},\
              \"perf_note\":{perf_note},\
+             \"host_topo\":{},\"autotune\":{},\
              \"compute_threads\":{},\"devices\":{},\"densify_every\":{},\
              \"views_per_epoch\":{},\"epochs\":{},\"batch_size\":{},\"prefetch_window\":{},\
              \"model_gaussians\":{},\"resolution\":\"{}x{}\",\
@@ -413,6 +420,8 @@ impl WallclockBench {
              \"numerics_match\":{},\"sharded_bit_identical\":{}}}",
             self.scale.label,
             self.host_cores,
+            self.host_topo.to_json(),
+            self.autotune.to_json(),
             self.compute_threads,
             self.devices,
             self.scale.densify_every,
@@ -435,11 +444,47 @@ impl WallclockBench {
     }
 }
 
-/// Detected host parallelism (1 when detection fails).
+/// Detected host parallelism the bench sizes its worker lanes by: the
+/// cgroup-effective core count, never below 1.
+///
+/// This used to read raw `available_parallelism()`, which ignores cgroup
+/// CPU quotas — in a container limited to 2 CPUs on a 64-core runner the
+/// bench spawned 64 band workers that time-sliced against each other and
+/// the artefact recorded `host_cores: 64` for a 2-core budget.  Routing
+/// through [`sim_device::HostTopology`] caps the count by the quota.
 pub fn detect_host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    sim_device::HostTopology::cached().effective_cores()
+}
+
+/// The perf caveat for a host that cannot deliver the parallelism a run
+/// asked for, as a pure function so tests can feed mocked core counts.
+///
+/// Fires in two situations:
+///
+/// * `effective_cores == 1` — the threaded lanes time-slice instead of
+///   overlapping, so every measured speedup under-represents multi-core
+///   hardware;
+/// * `compute_threads > effective_cores` — the run was configured (or a
+///   stale cached knob asked) for more band workers than the cgroup quota
+///   actually grants, so the parallel-compute lane oversubscribes.
+///
+/// `None` when the host can genuinely back the configured parallelism.
+pub fn perf_note_for(effective_cores: usize, compute_threads: usize) -> Option<String> {
+    if effective_cores == 1 {
+        return Some(
+            "single-core host: threaded lanes time-slice instead of overlapping; \
+             measured speedups under-represent multi-core hardware"
+                .to_string(),
+        );
+    }
+    if compute_threads > effective_cores {
+        return Some(format!(
+            "cpu quota grants only {effective_cores} effective cores but \
+             compute_threads={compute_threads}: oversubscribed band workers time-slice; \
+             measured parallel-compute speedup under-represents an unthrottled host"
+        ));
+    }
+    None
 }
 
 fn ratio(num: f64, den: f64) -> f64 {
@@ -590,6 +635,7 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
             cost_scale: 45_200_000.0 / model_len as f64,
             pixel_cost_scale: (1920.0 * 1080.0) / (scale.width as f64 * scale.height as f64),
             compute_threads: 0,
+            band_height: 0,
             num_devices: 1,
             warm_start_ratio: None,
         },
@@ -664,6 +710,7 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
             cost_scale: 45_200_000.0 / model_len as f64,
             pixel_cost_scale: (1920.0 * 1080.0) / (scale.width as f64 * scale.height as f64),
             compute_threads: 0,
+            band_height: 0,
             num_devices: devices,
             warm_start_ratio: None,
         },
@@ -698,6 +745,8 @@ pub fn run_wallclock_bench(scale: WallclockScale) -> WallclockBench {
     WallclockBench {
         scale,
         host_cores: detect_host_cores(),
+        host_topo: sim_device::HostTopology::cached().clone(),
+        autotune: clm_runtime::tuned().clone(),
         compute_threads,
         devices,
         backends: vec![
@@ -746,6 +795,10 @@ pub fn looks_like_bench_json(s: &str) -> bool {
         && depth_balanced
         && t.contains("\"bench\":\"runtime_wallclock\"")
         && t.contains("\"perf_note\":")
+        && t.contains("\"host_topo\":{")
+        && t.contains("\"autotune\":{\"calibration\":{")
+        && t.contains("\"knobs\":{")
+        && t.contains("\"fingerprint\":\"")
         && t.contains("\"speedup_threaded_vs_sync\":")
         && t.contains("\"compute_speedup_parallel_vs_serial\":")
         && t.contains("\"numerics_match\":")
@@ -793,12 +846,22 @@ mod tests {
         assert!(json.contains("\"numerics_match\":true"));
         assert!(json.contains("\"sharded_bit_identical\":true"));
         // The single-core caveat is present exactly when the host cannot
-        // overlap lanes.
+        // overlap lanes (the test scale's 2 band workers fit any ≥ 2-core
+        // budget, so the quota caveat cannot fire here).
         if bench.host_cores == 1 {
             assert!(json.contains("\"perf_note\":\"single-core host"));
         } else {
             assert!(json.contains("\"perf_note\":null"));
         }
+        // The artefact records what the run tuned itself to: the probed
+        // topology (with its tuning-record fingerprint) and the startup
+        // calibration with its derived knob defaults.
+        assert!(json.contains("\"host_topo\":{\"vendor\":"), "{json}");
+        assert!(json.contains("\"autotune\":{\"calibration\":{"), "{json}");
+        assert!(json.contains("\"fingerprint\":\""), "{json}");
+        assert_eq!(bench.host_cores, bench.host_topo.effective_cores());
+        assert!(bench.autotune.knobs.compute_threads >= 1);
+        assert!(bench.autotune.calibration.adam_rows_per_s > 0.0);
         // Busy fractions are utilisations again — the sharded entry used to
         // report 1.32 by summing device lanes against one shared makespan.
         for b in &bench.backends {
@@ -904,12 +967,39 @@ mod tests {
              \"projection\":{\"rows\":1,\"wall_s\":0.1,\"rows_per_s\":10.0}}",
         );
         assert!(looks_like_bench_json(&no_kernels));
+        // A pre-autotune artefact (no host_topo / autotune sections) is
+        // stale: the gate must force it to be regenerated.
+        let stale = no_kernels.replace("\"host_topo\":", "\"old_topo\":");
+        assert!(!looks_like_bench_json(&stale));
+        let stale = no_kernels.replace("\"autotune\":", "\"old_tune\":");
+        assert!(!looks_like_bench_json(&stale));
+    }
+
+    #[test]
+    fn perf_note_flags_single_core_and_quota_oversubscription() {
+        // One effective core: the historical single-core caveat, verbatim
+        // (downstream tooling greps for the prefix).
+        let note = perf_note_for(1, 1).expect("single-core note");
+        assert!(note.starts_with("single-core host"), "{note}");
+        // A 2-core cgroup quota with 8 configured band workers used to
+        // report no caveat at all — the check only looked at cores == 1.
+        let note = perf_note_for(2, 8).expect("oversubscription note");
+        assert!(note.contains("2 effective cores"), "{note}");
+        assert!(note.contains("compute_threads=8"), "{note}");
+        // A host that can back the configuration carries no caveat, even
+        // with head-room to spare.
+        assert_eq!(perf_note_for(4, 4), None);
+        assert_eq!(perf_note_for(8, 2), None);
     }
 
     /// A structurally-complete artefact except for an empty `kernels`
     /// section — the stale shape the gate must reject.
     fn run_kernel_free_fixture() -> String {
-        "{\"bench\":\"runtime_wallclock\",\"perf_note\":null,\"devices\":1,\
+        "{\"bench\":\"runtime_wallclock\",\"perf_note\":null,\
+         \"host_topo\":{\"vendor\":\"generic\",\"effective_cores\":1,\
+         \"fingerprint\":\"generic-1c1t-l2:512k-l3:0k-e1\"},\
+         \"autotune\":{\"calibration\":{\"wall_ms\":1.0},\
+         \"knobs\":{\"compute_threads\":1}},\"devices\":1,\
          \"speedup_threaded_vs_sync\":1.0,\"compute_speedup_parallel_vs_serial\":1.0,\
          \"numerics_match\":true,\"sharded_bit_identical\":true,\"resize_events\":0,\
          \"post_resize_throughput_delta\":0.0,\"name\":\"sharded\",\"kernels\":{}}"

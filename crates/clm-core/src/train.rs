@@ -21,7 +21,7 @@ use gs_core::PARAMS_PER_GAUSSIAN;
 use gs_optim::{AdamConfig, AdamWorkItem, GaussianAdam, GradientBuffer};
 use gs_render::{
     l1_loss, parallel::parallel_map, psnr, render, render_backward, Image, RenderGradients,
-    RenderOptions,
+    RenderOptions, DEFAULT_BAND_HEIGHT,
 };
 use gs_scene::{Dataset, DensifyConfig, DensifyReport, ResizeEvent};
 
@@ -66,6 +66,12 @@ pub struct TrainConfig {
     /// least 1).  Pure scheduling: the training trajectory is bit-identical
     /// for every value (`gs_render`'s band geometry never depends on it).
     pub compute_threads: usize,
+    /// Accumulation band height for the banded renderer (0 = the renderer's
+    /// default).  Unlike `compute_threads` this is **part of the numeric
+    /// contract**: it fixes the grouping of floating-point accumulation, so
+    /// runs compared bit-for-bit must use the same value on every backend.
+    /// Autotuners derive it purely from host properties, never per run.
+    pub band_height: u32,
     /// Second parallelism level: render the batch's views concurrently
     /// (each view serial inside) instead of band-parallel within one view.
     /// Views are independent until gradient accumulation, which
@@ -101,6 +107,7 @@ impl Default for TrainConfig {
             gaussian_caching: true,
             overlapped_adam: true,
             compute_threads: 1,
+            band_height: DEFAULT_BAND_HEIGHT,
             view_parallel: false,
             num_devices: 1,
             densify: None,
@@ -323,6 +330,23 @@ impl Trainer {
     /// re-adopted by a runtime that pins its own thread count).
     pub fn set_compute_threads(&mut self, compute_threads: usize) {
         self.config.compute_threads = compute_threads;
+    }
+
+    /// Overrides the accumulation band height (the runtime adoption path for
+    /// an autotuned value).  Part of the numeric contract — change it only
+    /// between runs that are compared bit-for-bit.
+    pub fn set_band_height(&mut self, band_height: u32) {
+        self.config.band_height = band_height;
+    }
+
+    /// The band height renders actually use: the configured value, or the
+    /// renderer's default when the config holds the 0 sentinel.
+    pub fn resolved_band_height(&self) -> u32 {
+        if self.config.band_height == 0 {
+            DEFAULT_BAND_HEIGHT
+        } else {
+            self.config.band_height
+        }
     }
 
     /// The densification resize due **before** the next batch, if any.
@@ -630,7 +654,7 @@ impl Trainer {
                 background: self.config.background,
                 visible,
                 compute_threads,
-                ..RenderOptions::default()
+                band_height: self.resolved_band_height(),
             },
         );
         let loss = l1_loss(&out.image, target);
@@ -1014,7 +1038,7 @@ impl Trainer {
                     background: self.config.background,
                     visible: None,
                     compute_threads: self.config.compute_threads,
-                    ..RenderOptions::default()
+                    band_height: self.resolved_band_height(),
                 },
             );
             total += psnr(&out.image, target).min(60.0);

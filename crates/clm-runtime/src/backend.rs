@@ -52,6 +52,13 @@ pub struct ExecutionReport {
     /// Prefetch lookahead window the backend chose for this batch (fixed or
     /// adaptive).
     pub prefetch_window: usize,
+    /// Banded-render worker count the batch actually ran with — the
+    /// resolved value, never the `0` "inherit/autotune" sentinel a config
+    /// may carry.
+    pub compute_threads: usize,
+    /// Accumulation band height the batch rendered with (resolved, part of
+    /// the numeric contract).
+    pub band_height: u32,
     /// Measured wall-clock seconds the batch took on the host.
     pub wall_seconds: f64,
     /// Per-lane busy seconds (see [`LaneBusy`] for units per backend).  For

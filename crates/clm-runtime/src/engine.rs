@@ -66,6 +66,10 @@ pub struct RuntimeConfig {
     /// the simulated timeline costs and the numerics are unaffected; only
     /// the wall-clock time of executing the lanes inline shrinks.
     pub compute_threads: usize,
+    /// Accumulation band height override (0 = inherit the trainer's
+    /// `TrainConfig::band_height`).  Part of the numeric contract — see
+    /// `TrainConfig::band_height`.
+    pub band_height: u32,
     /// Simulated devices the scene is sharded across (1 = single device).
     /// [`PipelinedEngine`] is the single-device engine and requires 1; the
     /// multi-device lane groups live in
@@ -88,8 +92,25 @@ impl Default for RuntimeConfig {
             cost_scale: 1.0,
             pixel_cost_scale: 1.0,
             compute_threads: 0,
+            band_height: 0,
             num_devices: 1,
             warm_start_ratio: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A config whose scheduling knobs come from the startup autotuner
+    /// ([`crate::autotune::tuned`]): quota-aware compute width, the
+    /// calibrated prefetch-window seed and the host-derived band height.
+    /// Set any field afterwards to override a derived value.
+    pub fn autotuned() -> Self {
+        let knobs = crate::autotune::tuned().knobs;
+        RuntimeConfig {
+            prefetch_window: knobs.prefetch_window,
+            compute_threads: knobs.compute_threads,
+            band_height: knobs.band_height,
+            ..Default::default()
         }
     }
 }
@@ -184,6 +205,9 @@ impl PipelinedEngine {
         if config.compute_threads > 0 {
             train.compute_threads = config.compute_threads;
         }
+        if config.band_height > 0 {
+            train.band_height = config.band_height;
+        }
         let window_selector = WindowSelector::warm_started(config.warm_start_ratio);
         PipelinedEngine {
             trainer: Trainer::new(initial_model, train),
@@ -213,6 +237,9 @@ impl PipelinedEngine {
         );
         if config.compute_threads > 0 {
             trainer.set_compute_threads(config.compute_threads);
+        }
+        if config.band_height > 0 {
+            trainer.set_band_height(config.band_height);
         }
         let window_selector = WindowSelector::warm_started(config.warm_start_ratio);
         PipelinedEngine {
@@ -380,6 +407,10 @@ impl PipelinedEngine {
             timeline,
             views: cameras.len(),
             prefetch_window: window,
+            compute_threads: gs_render::parallel::resolve_compute_threads(
+                self.trainer.config().compute_threads,
+            ),
+            band_height: self.trainer.resolved_band_height(),
             resize: plan.resize.as_ref().map(|e| e.report()),
             faults,
         }
@@ -789,6 +820,8 @@ impl ExecutionBackend for PipelinedEngine {
         ExecutionReport {
             views: report.views,
             prefetch_window: report.prefetch_window,
+            compute_threads: report.compute_threads,
+            band_height: report.band_height,
             wall_seconds,
             lanes: LaneBusy {
                 compute: t.busy_time(Lane::GpuCompute),

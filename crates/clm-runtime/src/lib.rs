@@ -29,7 +29,10 @@
 //! * [`ExecutionBackend`] / [`ExecutionReport`] — the common abstraction
 //!   the benchmark harness drives both backends through;
 //! * [`IterationReport`] — per-iteration makespan, per-lane busy/idle time
-//!   and communication volume (Figures 11–15, Table 7).
+//!   and communication volume (Figures 11–15, Table 7);
+//! * [`autotune`] — host-topology probe + startup calibration that derives
+//!   per-host defaults for every scheduling knob ([`tuned`]), all
+//!   overridable through the config structs above.
 //!
 //! # Numerical equivalence
 //!
@@ -63,6 +66,7 @@
 //! assert!(report.lane(Lane::GpuCompute).busy > 0.0);
 //! ```
 
+pub mod autotune;
 pub mod backend;
 pub mod engine;
 pub mod pool;
@@ -72,10 +76,11 @@ pub mod sharded;
 pub mod threaded;
 pub mod workers;
 
+pub use autotune::{derive_knobs, tuned, Autotune, Calibration, TunedKnobs};
 pub use backend::{ExecutionBackend, ExecutionReport, LaneBusy};
 pub use engine::{PipelinedEngine, RuntimeConfig};
 pub use pool::{PinnedBufferPool, PoolStats, StagingBuffer};
-pub use prefetch::{PrefetchPolicy, PrefetchWindow, WarmStartCache, WindowSelector};
+pub use prefetch::{PrefetchPolicy, PrefetchWindow, TuningRecord, WarmStartCache, WindowSelector};
 pub use report::{IterationReport, LaneReport};
 pub use sharded::{ShardedEngine, PEER_HOP_FACTOR};
 pub use threaded::{ThreadedBackend, ThreadedConfig};
@@ -129,6 +134,42 @@ mod tests {
             assert_eq!(piped.batch, reference);
         }
         assert_eq!(engine.trainer().model(), sync.model());
+    }
+
+    #[test]
+    fn autotuned_run_matches_the_serial_oracle() {
+        // The autotuning acceptance gate: a fresh run that adopts every
+        // derived knob (thread counts, Adam chunk size, window seed, band
+        // height) still trains bit-identically to the synchronous trainer.
+        // All tuned knobs are pure scheduling except `band_height`, which
+        // is part of the numeric contract — the oracle shares it through
+        // `TrainConfig`, exactly as a caller opting into autotuning would.
+        let (dataset, targets, init) = tiny_setup();
+        let knobs = tuned().knobs;
+        let train = TrainConfig {
+            band_height: knobs.band_height,
+            ..Default::default()
+        };
+        let mut threaded =
+            ThreadedBackend::new(init.clone(), train.clone(), ThreadedConfig::autotuned());
+        let mut piped =
+            PipelinedEngine::new(init.clone(), train.clone(), RuntimeConfig::autotuned());
+        let mut sync = Trainer::new(init, train);
+        for start in [0usize, 4] {
+            let cams = &dataset.cameras[start..start + 4];
+            let tgts = &targets[start..start + 4];
+            let thr_report = threaded.run_batch(cams, tgts);
+            let pipe_report = piped.run_batch(cams, tgts);
+            let reference = sync.train_batch(cams, tgts);
+            assert_eq!(thr_report.batch, reference);
+            assert_eq!(pipe_report.batch, reference);
+            // The reports record the knobs the run actually used.
+            assert_eq!(thr_report.compute_threads, knobs.compute_threads);
+            assert_eq!(thr_report.band_height, knobs.band_height);
+            assert_eq!(pipe_report.band_height, knobs.band_height);
+        }
+        assert_eq!(threaded.trainer().model(), sync.model());
+        assert_eq!(piped.trainer().model(), sync.model());
     }
 
     #[test]

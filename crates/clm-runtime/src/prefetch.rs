@@ -154,7 +154,28 @@ impl WindowSelector {
     }
 }
 
-/// Per-scene warm starts for the tracked prefetch ratio.
+/// One run's tuned knob values, recorded per (host fingerprint, scene) by
+/// [`WarmStartCache::record_tuning`].  A later run on the **same** host and
+/// scene seeds its configs from the record; a different host (new
+/// fingerprint) falls back to autotuning from scratch, because cache sizes
+/// and core counts — the inputs the knobs were derived from — differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningRecord {
+    /// Smoothed fetch/compute ratio at the end of the run (the classic
+    /// per-scene warm start).
+    pub ratio: f64,
+    /// Banded-render workers the run settled on.
+    pub compute_threads: usize,
+    /// CPU Adam lane fan-out the run settled on.
+    pub adam_threads: usize,
+    /// Accumulation band height the run used.
+    pub band_height: u32,
+    /// Prefetch window the run converged to.
+    pub prefetch_window: usize,
+}
+
+/// Per-scene warm starts for the tracked prefetch ratio, plus per-(host,
+/// scene) tuning records.
 ///
 /// `PrefetchPolicy::Ewma` used to cold-start every run: the first batch of a
 /// scene always fell back to the configured seed window, even when the same
@@ -166,10 +187,26 @@ impl WindowSelector {
 /// and the first batch starts from the smoothed steady state instead of the
 /// seed window.  Warm starts never change numerics — only the first batch's
 /// staging-buffer budget.
+///
+/// Tuning records extend the same idea to the autotuned knobs: keyed by
+/// `(HostTopology::fingerprint(), scene)`, so a cache file copied to a
+/// different machine is silently ignored (fingerprint mismatch → autotune
+/// from scratch) instead of applying another host's thread counts.
+///
+/// The cache persists as a versioned tab-separated text file
+/// ([`save_to_string`](Self::save_to_string) /
+/// [`load_from_str`](Self::load_from_str)); legacy headerless
+/// `scene\tratio` files load as ratio-only entries, and malformed lines are
+/// skipped rather than failing the load — a corrupt cache degrades to a
+/// cold start, never an error.
 #[derive(Debug, Clone, Default)]
 pub struct WarmStartCache {
     ratios: std::collections::HashMap<String, f64>,
+    records: std::collections::HashMap<(String, String), TuningRecord>,
 }
+
+/// Header line of the current cache file format.
+const WARM_CACHE_HEADER_V2: &str = "clmwarm v2";
 
 impl WarmStartCache {
     /// Creates an empty cache.
@@ -191,20 +228,163 @@ impl WarmStartCache {
     }
 
     /// The stored warm-start ratio for `scene`, if any — pass it to the
-    /// backend config's `warm_start_ratio`.
+    /// backend config's `warm_start_ratio`.  Falls back to the freshest
+    /// source available: a per-(host, scene) tuning record's ratio wins over
+    /// the plain per-scene entry when `host` has one.
     pub fn ratio(&self, scene: &str) -> Option<f64> {
         self.ratios.get(scene).copied()
     }
 
-    /// Number of scenes with a recorded ratio.
-    pub fn len(&self) -> usize {
-        self.ratios.len()
+    /// Records a full tuning record under `(host, scene)` — `host` should
+    /// be `HostTopology::fingerprint()`.  Returns `false` (leaving any
+    /// previous entry in place) when the record is degenerate: a non-finite
+    /// or negative ratio, or zero thread/band values.
+    pub fn record_tuning(&mut self, host: &str, scene: &str, record: TuningRecord) -> bool {
+        let sane = record.ratio.is_finite()
+            && record.ratio >= 0.0
+            && record.compute_threads > 0
+            && record.adam_threads > 0
+            && record.band_height > 0
+            && record.prefetch_window > 0;
+        if !sane {
+            return false;
+        }
+        self.records
+            .insert((host.to_string(), scene.to_string()), record);
+        true
     }
 
-    /// Whether no scene has been recorded yet.
-    pub fn is_empty(&self) -> bool {
-        self.ratios.is_empty()
+    /// The tuning record for `(host, scene)`, if one was recorded **on this
+    /// host** — a record from a different fingerprint is never returned, so
+    /// stale thread counts cannot leak across machines.  Callers fall back
+    /// to [`ratio`](Self::ratio) (and from there to autotuning) on `None`.
+    pub fn tuning(&self, host: &str, scene: &str) -> Option<TuningRecord> {
+        self.records
+            .get(&(host.to_string(), scene.to_string()))
+            .copied()
     }
+
+    /// Number of entries (per-scene ratios plus per-(host, scene) tuning
+    /// records).
+    pub fn len(&self) -> usize {
+        self.ratios.len() + self.records.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ratios.is_empty() && self.records.is_empty()
+    }
+
+    /// Serialises the cache into the versioned tab-separated text format.
+    /// Entries are emitted in sorted key order so the output is stable.
+    pub fn save_to_string(&self) -> String {
+        let mut out = String::from(WARM_CACHE_HEADER_V2);
+        out.push('\n');
+        let mut scenes: Vec<_> = self.ratios.iter().collect();
+        scenes.sort_by(|a, b| a.0.cmp(b.0));
+        for (scene, ratio) in scenes {
+            out.push_str(&format!("ratio\t{}\t{}\n", sanitize(scene), ratio));
+        }
+        let mut tuned: Vec<_> = self.records.iter().collect();
+        tuned.sort_by(|a, b| a.0.cmp(b.0));
+        for ((host, scene), r) in tuned {
+            out.push_str(&format!(
+                "tuned\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                sanitize(host),
+                sanitize(scene),
+                r.ratio,
+                r.compute_threads,
+                r.adam_threads,
+                r.band_height,
+                r.prefetch_window,
+            ));
+        }
+        out
+    }
+
+    /// Parses a cache from its text form.  Accepts the current `clmwarm v2`
+    /// format and legacy headerless `scene\tratio` files; lines that fail
+    /// to parse (truncated writes, corruption, future record kinds) are
+    /// skipped, so the worst case is a partially warm — never broken —
+    /// cache.
+    pub fn load_from_str(text: &str) -> Self {
+        let mut cache = WarmStartCache::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line == WARM_CACHE_HEADER_V2 || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields.as_slice() {
+                ["ratio", scene, value] => {
+                    if let Ok(r) = value.parse::<f64>() {
+                        if r.is_finite() && r >= 0.0 {
+                            cache.ratios.insert((*scene).to_string(), r);
+                        }
+                    }
+                }
+                ["tuned", host, scene, ratio, ct, at, bh, pw] => {
+                    let parsed = (
+                        ratio.parse::<f64>(),
+                        ct.parse::<usize>(),
+                        at.parse::<usize>(),
+                        bh.parse::<u32>(),
+                        pw.parse::<usize>(),
+                    );
+                    if let (
+                        Ok(ratio),
+                        Ok(compute_threads),
+                        Ok(adam_threads),
+                        Ok(band_height),
+                        Ok(prefetch_window),
+                    ) = parsed
+                    {
+                        cache.record_tuning(
+                            host,
+                            scene,
+                            TuningRecord {
+                                ratio,
+                                compute_threads,
+                                adam_threads,
+                                band_height,
+                                prefetch_window,
+                            },
+                        );
+                    }
+                }
+                // Legacy (pre-v2) files: bare `scene\tratio` lines.
+                [scene, value] => {
+                    if let Ok(r) = value.parse::<f64>() {
+                        if r.is_finite() && r >= 0.0 {
+                            cache.ratios.insert((*scene).to_string(), r);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        cache
+    }
+
+    /// Writes the cache to `path` (see [`save_to_string`](Self::save_to_string)).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.save_to_string())
+    }
+
+    /// Loads a cache from `path`; a missing or unreadable file yields an
+    /// empty cache (cold start), matching the corruption policy of
+    /// [`load_from_str`](Self::load_from_str).
+    pub fn load(path: &std::path::Path) -> Self {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::load_from_str(&text),
+            Err(_) => WarmStartCache::new(),
+        }
+    }
+}
+
+/// Keeps keys single-field in the tab-separated format.
+fn sanitize(key: &str) -> String {
+    key.replace(['\t', '\n', '\r'], " ")
 }
 
 /// Lookahead-window policy for one batch of `num_microbatches` gathers.
@@ -478,6 +658,165 @@ mod tests {
         let warm = WindowSelector::warm_started(cache.ratio("bicycle"));
         assert_eq!(warm.choose(ewma, 1), sel.choose(ewma, 1));
         assert_eq!(cache.ratio("rubble"), None);
+    }
+
+    fn sample_record() -> TuningRecord {
+        TuningRecord {
+            ratio: 2.25,
+            compute_threads: 8,
+            adam_threads: 4,
+            band_height: 32,
+            prefetch_window: 3,
+        }
+    }
+
+    #[test]
+    fn tuning_records_round_trip_per_host_and_scene() {
+        let mut cache = WarmStartCache::new();
+        assert!(cache.record_tuning("amd-8c16t-l2:512k-l3:32768k-e8", "bicycle", sample_record()));
+        let mut other = sample_record();
+        other.compute_threads = 2;
+        assert!(cache.record_tuning("intel-2c2t-l2:256k-l3:4096k-e2", "bicycle", other));
+        assert_eq!(cache.len(), 2);
+
+        // Same (host, scene) → the record comes back verbatim.
+        assert_eq!(
+            cache.tuning("amd-8c16t-l2:512k-l3:32768k-e8", "bicycle"),
+            Some(sample_record())
+        );
+        // Hosts keep distinct records for the same scene.
+        assert_eq!(
+            cache
+                .tuning("intel-2c2t-l2:256k-l3:4096k-e2", "bicycle")
+                .map(|r| r.compute_threads),
+            Some(2)
+        );
+        // Degenerate records are refused.
+        for bad in [
+            TuningRecord {
+                ratio: f64::NAN,
+                ..sample_record()
+            },
+            TuningRecord {
+                ratio: -1.0,
+                ..sample_record()
+            },
+            TuningRecord {
+                compute_threads: 0,
+                ..sample_record()
+            },
+            TuningRecord {
+                band_height: 0,
+                ..sample_record()
+            },
+        ] {
+            assert!(!cache.record_tuning("h", "s", bad), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn tuning_lookup_falls_back_on_fingerprint_mismatch() {
+        // The point of keying by fingerprint: a cache file carried to a
+        // machine with different cores/caches must NOT apply the old thread
+        // counts — the lookup misses and the caller autotunes from scratch.
+        let mut cache = WarmStartCache::new();
+        cache.record_tuning(
+            "amd-64c128t-l2:1024k-l3:262144k-e64",
+            "rubble",
+            sample_record(),
+        );
+        assert_eq!(
+            cache.tuning("intel-4c8t-l2:512k-l3:12288k-e4", "rubble"),
+            None
+        );
+        assert_eq!(
+            cache.tuning("amd-64c128t-l2:1024k-l3:262144k-e64", "garden"),
+            None
+        );
+        // The per-scene ratio entry (host-independent scheduling hint) still
+        // warm-starts the window even when the knobs cannot transfer.
+        let mut sel = WindowSelector::new();
+        sel.observe(PrefetchPolicy::Fixed, 3.0, 1.0);
+        cache.record("rubble", &sel);
+        assert_eq!(cache.ratio("rubble"), Some(3.0));
+    }
+
+    #[test]
+    fn cache_files_round_trip_both_entry_kinds() {
+        let mut cache = WarmStartCache::new();
+        let mut sel = WindowSelector::new();
+        sel.observe(PrefetchPolicy::Fixed, 1.5, 1.0);
+        cache.record("bicycle", &sel);
+        cache.record_tuning("amd-8c16t-l2:512k-l3:32768k-e8", "bicycle", sample_record());
+        cache.record_tuning("amd-8c16t-l2:512k-l3:32768k-e8", "garden", sample_record());
+
+        let text = cache.save_to_string();
+        assert!(text.starts_with("clmwarm v2\n"), "{text}");
+        let loaded = WarmStartCache::load_from_str(&text);
+        assert_eq!(loaded.len(), cache.len());
+        assert_eq!(loaded.ratio("bicycle"), Some(1.5));
+        assert_eq!(
+            loaded.tuning("amd-8c16t-l2:512k-l3:32768k-e8", "garden"),
+            Some(sample_record())
+        );
+        // Serialisation is stable: saving the loaded cache reproduces the
+        // text byte for byte.
+        assert_eq!(loaded.save_to_string(), text);
+    }
+
+    #[test]
+    fn corrupt_and_legacy_cache_files_degrade_to_partial_warm_starts() {
+        // Legacy (pre-v2) headerless scene\tratio files still load.
+        let legacy = WarmStartCache::load_from_str("bicycle\t2.5\nrubble\t0.75\n");
+        assert_eq!(legacy.len(), 2);
+        assert_eq!(legacy.ratio("bicycle"), Some(2.5));
+
+        // Corruption — truncated records, junk, non-numeric fields, bad
+        // ratios — skips the bad lines and keeps the good ones.
+        let corrupt = "clmwarm v2\n\
+                       ratio\tbicycle\t1.25\n\
+                       ratio\tgarden\tnot-a-number\n\
+                       ratio\tnan-scene\tNaN\n\
+                       tuned\thost-a\tbicycle\t2.0\t8\t4\t32\t3\n\
+                       tuned\thost-a\ttruncated\t2.0\t8\n\
+                       tuned\thost-a\tgarden\t2.0\teight\t4\t32\t3\n\
+                       complete garbage line with spaces\n\
+                       \n";
+        let cache = WarmStartCache::load_from_str(corrupt);
+        assert_eq!(cache.ratio("bicycle"), Some(1.25));
+        assert_eq!(cache.ratio("garden"), None, "unparseable ratio skipped");
+        assert_eq!(cache.ratio("nan-scene"), None, "non-finite ratio refused");
+        assert_eq!(
+            cache.tuning("host-a", "bicycle"),
+            Some(TuningRecord {
+                ratio: 2.0,
+                compute_threads: 8,
+                adam_threads: 4,
+                band_height: 32,
+                prefetch_window: 3,
+            })
+        );
+        assert_eq!(cache.tuning("host-a", "truncated"), None);
+        assert_eq!(cache.tuning("host-a", "garden"), None);
+        assert_eq!(cache.len(), 2);
+
+        // Total garbage yields an empty cache, not an error.
+        assert!(WarmStartCache::load_from_str("\0\0\0garbage").is_empty());
+        assert!(WarmStartCache::load_from_str("").is_empty());
+    }
+
+    #[test]
+    fn cache_file_io_round_trips_and_missing_files_cold_start() {
+        let dir = std::env::temp_dir().join(format!("clm-warm-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.tsv");
+        let mut cache = WarmStartCache::new();
+        cache.record_tuning("host-x", "bicycle", sample_record());
+        cache.save(&path).unwrap();
+        let loaded = WarmStartCache::load(&path);
+        assert_eq!(loaded.tuning("host-x", "bicycle"), Some(sample_record()));
+        assert!(WarmStartCache::load(&dir.join("missing.tsv")).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct IterationReport {
     /// configured window under `PrefetchPolicy::Fixed`, the measured-ratio
     /// choice under `PrefetchPolicy::Adaptive`).
     pub prefetch_window: usize,
+    /// Banded-render worker count the batch ran with (resolved — never the
+    /// `0` "inherit/autotune" sentinel).
+    pub compute_threads: usize,
+    /// Accumulation band height the batch rendered with (resolved, part of
+    /// the numeric contract).
+    pub band_height: u32,
     /// The densification resize applied at this batch's boundary, if one
     /// was due (`None` for the fixed-size batches in between).
     pub resize: Option<DensifyReport>,
@@ -141,6 +147,8 @@ mod tests {
             timeline: t,
             views: 2,
             prefetch_window: 1,
+            compute_threads: 1,
+            band_height: 16,
             resize: None,
             faults: FaultStats::default(),
         }
@@ -178,6 +186,8 @@ mod tests {
             timeline: t,
             views: 2,
             prefetch_window: 0,
+            compute_threads: 1,
+            band_height: 16,
             resize: None,
             faults: FaultStats::default(),
         };

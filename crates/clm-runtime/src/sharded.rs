@@ -412,6 +412,10 @@ impl ShardedEngine {
             timeline,
             views: cameras.len(),
             prefetch_window: window,
+            compute_threads: gs_render::parallel::resolve_compute_threads(
+                self.trainer.config().compute_threads,
+            ),
+            band_height: self.trainer.resolved_band_height(),
             resize: plan.resize.as_ref().map(|e| e.report()),
             faults,
         }
@@ -785,6 +789,8 @@ impl ExecutionBackend for ShardedEngine {
         ExecutionReport {
             views: report.views,
             prefetch_window: report.prefetch_window,
+            compute_threads: report.compute_threads,
+            band_height: report.band_height,
             wall_seconds,
             lanes: LaneBusy {
                 compute: device_lanes.iter().map(|l| l.compute).sum(),

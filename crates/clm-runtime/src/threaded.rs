@@ -66,8 +66,19 @@ pub struct ThreadedConfig {
     /// Fixed vs. adaptive window selection.
     pub policy: PrefetchPolicy,
     /// Threads the CPU Adam lane may chunk one group's update math across
-    /// (1 = the lane's own worker thread does everything).
+    /// (1 = the lane's own worker thread does everything).  The default is
+    /// the host's *effective* core count — cgroup CPU quotas included — not
+    /// the raw logical CPU count: on a quota-limited container the old
+    /// `available_parallelism`-based default oversubscribed the Adam lane
+    /// by an order of magnitude.
     pub adam_threads: usize,
+    /// Target rows per Adam chunk: groups smaller than
+    /// `adam_threads × adam_chunk_rows` fan out across fewer threads so one
+    /// chunk's working set stays cache-resident instead of splitting a tiny
+    /// group 64 ways (0 = no target, always fan out to `adam_threads`).
+    /// Pure scheduling — the chunked kernel is bit-identical for every
+    /// thread count.
+    pub adam_chunk_rows: usize,
     /// Capacity of the bounded request queues (≥ 1).  Capacity 1 gives the
     /// tightest backpressure; larger values let lanes run further ahead of
     /// their consumers.
@@ -77,6 +88,10 @@ pub struct ThreadedConfig {
     /// This is the knob that lets the compute lane itself scale with cores;
     /// it never changes the numerics.
     pub compute_threads: usize,
+    /// Accumulation band height override (0 = inherit the trainer's
+    /// `TrainConfig::band_height`).  Part of the numeric contract — see
+    /// `TrainConfig::band_height`.
+    pub band_height: u32,
     /// Data-parallel device stand-ins (1 = single device).  With `D > 1`
     /// the batch is processed in rounds of `D` micro-batches whose views
     /// render concurrently — one thread per "device" — while losses,
@@ -96,13 +111,35 @@ impl Default for ThreadedConfig {
         ThreadedConfig {
             prefetch_window: 2,
             policy: PrefetchPolicy::Fixed,
-            adam_threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            // Effective cores, not raw available_parallelism: a cgroup CPU
+            // quota (the common container case) caps how many Adam chunk
+            // threads can actually run.
+            adam_threads: sim_device::HostTopology::cached().effective_cores(),
+            adam_chunk_rows: 0,
             channel_capacity: 2,
             compute_threads: 0,
+            band_height: 0,
             num_devices: 1,
             warm_start_ratio: None,
+        }
+    }
+}
+
+impl ThreadedConfig {
+    /// A config whose scheduling knobs come from the startup autotuner
+    /// ([`crate::autotune::tuned`]): quota-aware thread counts, an
+    /// L2-fitted Adam chunk target, the calibrated prefetch-window seed and
+    /// the host-derived band height.  Set any field afterwards to override
+    /// a derived value.
+    pub fn autotuned() -> Self {
+        let knobs = crate::autotune::tuned().knobs;
+        ThreadedConfig {
+            prefetch_window: knobs.prefetch_window,
+            adam_threads: knobs.adam_threads,
+            adam_chunk_rows: knobs.adam_chunk_rows,
+            compute_threads: knobs.compute_threads,
+            band_height: knobs.band_height,
+            ..Default::default()
         }
     }
 }
@@ -140,6 +177,9 @@ impl ThreadedBackend {
         if config.compute_threads > 0 {
             train.compute_threads = config.compute_threads;
         }
+        if config.band_height > 0 {
+            train.band_height = config.band_height;
+        }
         // Mirrored for introspection; the backend drives the stepwise API
         // and shards the rounds itself.
         train.num_devices = config.num_devices;
@@ -168,6 +208,9 @@ impl ThreadedBackend {
         assert!(config.num_devices > 0, "num_devices must be at least 1");
         if config.compute_threads > 0 {
             trainer.set_compute_threads(config.compute_threads);
+        }
+        if config.band_height > 0 {
+            trainer.set_band_height(config.band_height);
         }
         trainer.set_num_devices(config.num_devices);
         let window_selector = WindowSelector::warm_started(config.warm_start_ratio);
@@ -328,6 +371,17 @@ impl ThreadedBackend {
         let pool = &mut self.pool;
         let capacity = self.config.channel_capacity;
         let adam_threads = self.config.adam_threads;
+        let adam_chunk_rows = self.config.adam_chunk_rows;
+        // Chunk-target cap: small groups fan out across fewer threads so
+        // each chunk keeps its cache-resident working-set size.  Identical
+        // numerics for any fan-out (the chunked kernel guarantees it).
+        let adam_fan_out = move |len: usize| {
+            if adam_chunk_rows == 0 {
+                adam_threads
+            } else {
+                gs_optim::threads_for_chunk_rows(len, adam_chunk_rows, adam_threads)
+            }
+        };
         let plan_ref = &plan;
 
         std::thread::scope(|scope| {
@@ -444,10 +498,11 @@ impl ThreadedBackend {
                                         // results — then back off.
                                         for _ in 0..attempts {
                                             let mut retry_items = items.clone();
+                                            let fan_out = adam_fan_out(retry_items.len());
                                             compute_packed_chunked(
                                                 &adam_config,
                                                 &mut retry_items,
-                                                adam_threads,
+                                                fan_out,
                                             );
                                         }
                                         std::thread::sleep(Duration::from_secs_f64(
@@ -455,7 +510,8 @@ impl ThreadedBackend {
                                         ));
                                     }
                                 }
-                                compute_packed_chunked(&adam_config, &mut items, adam_threads)
+                                let fan_out = adam_fan_out(items.len());
+                                compute_packed_chunked(&adam_config, &mut items, fan_out)
                             });
                             if let (Some(log), Some(s)) = (spans, span_start) {
                                 log.record(
@@ -647,6 +703,10 @@ impl ThreadedBackend {
             batch,
             views: cameras.len(),
             prefetch_window: window,
+            compute_threads: gs_render::parallel::resolve_compute_threads(
+                self.trainer.config().compute_threads,
+            ),
+            band_height: self.trainer.resolved_band_height(),
             wall_seconds,
             lanes: LaneBusy {
                 compute: compute_seconds,

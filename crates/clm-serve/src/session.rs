@@ -269,6 +269,14 @@ impl Session {
     /// Builds the session's backend from scratch (fresh model) or from a
     /// restored trainer, applying the granted window, the budget cap and
     /// the warm-start ratio.
+    ///
+    /// Both backends adopt the host's autotuned *scheduling* knobs (lane
+    /// fan-outs, Adam chunk size) as their base configuration.  The
+    /// prefetch window stays the service's granted one — it is an admission
+    /// decision, not a host property — and `band_height` stays whatever the
+    /// tenant's `TrainConfig` declares (`band_height: 0` below): it is part
+    /// of the numeric contract, and a restored trainer must continue
+    /// bit-identically to its pre-eviction trajectory.
     pub fn build_backend(&self, restored: Option<clm_core::Trainer>) -> Backend {
         let warm = self.evicted.as_ref().and_then(|e| e.warm_start_ratio);
         match self.spec.backend {
@@ -278,7 +286,8 @@ impl Session {
                     warm_start_ratio: warm,
                     cost_scale: self.spec.cost_scale,
                     pixel_cost_scale: self.spec.cost_scale,
-                    ..Default::default()
+                    band_height: 0,
+                    ..RuntimeConfig::autotuned()
                 };
                 let mut engine = match restored {
                     Some(trainer) => PipelinedEngine::with_trainer(trainer, config),
@@ -297,7 +306,8 @@ impl Session {
                 let config = ThreadedConfig {
                     prefetch_window: self.granted_window,
                     warm_start_ratio: warm,
-                    ..Default::default()
+                    band_height: 0,
+                    ..ThreadedConfig::autotuned()
                 };
                 let mut backend = match restored {
                     Some(trainer) => ThreadedBackend::with_trainer(trainer, config),

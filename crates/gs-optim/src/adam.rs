@@ -285,6 +285,23 @@ pub fn compute_packed_chunked(config: &AdamConfig, items: &mut [AdamWorkItem], t
     parallel_for_each(threads, slices, |slice| compute_packed(config, slice));
 }
 
+/// Bytes one packed [`AdamWorkItem`] occupies — the unit the autotuner's
+/// cache-aware chunk sizing reasons in.
+pub const WORK_ITEM_BYTES: usize = std::mem::size_of::<AdamWorkItem>();
+
+/// The worker count that keeps each [`compute_packed_chunked`] chunk at or
+/// under `target_chunk_rows` work items without exceeding `max_threads`:
+/// small workloads stay on few threads (one cache-resident chunk does not
+/// benefit from being split), large workloads fan out until either every
+/// chunk fits the target or the thread budget is exhausted.
+///
+/// Pure scheduling — [`compute_packed_chunked`] is bit-identical for every
+/// thread count, so callers may resize freely per batch.
+pub fn threads_for_chunk_rows(len: usize, target_chunk_rows: usize, max_threads: usize) -> usize {
+    let target = target_chunk_rows.max(1);
+    len.div_ceil(target).clamp(1, max_threads.max(1))
+}
+
 /// Writes a [`GradientBuffer`] row into a flat
 /// [`param_row`](GaussianModel::param_row)-layout buffer.
 fn flat_grad_into(grads: &GradientBuffer, index: u32, row: &mut [f32; PARAMS_PER_GAUSSIAN]) {
@@ -744,6 +761,23 @@ mod tests {
             opt.step_subset_parallel(&mut model, &grads, &indices, threads);
             assert_eq!(model, reference, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn chunk_row_targets_map_to_sane_thread_counts() {
+        // One cache-resident chunk never fans out…
+        assert_eq!(threads_for_chunk_rows(1_000, 4_096, 16), 1);
+        // …a big workload fans out until chunks fit the target…
+        assert_eq!(threads_for_chunk_rows(100_000, 4_096, 64), 25);
+        // …but never past the thread budget.
+        assert_eq!(threads_for_chunk_rows(100_000, 4_096, 16), 16);
+        // Degenerate inputs stay in range.
+        assert_eq!(threads_for_chunk_rows(0, 4_096, 16), 1);
+        assert_eq!(threads_for_chunk_rows(100, 0, 16), 16);
+        assert_eq!(threads_for_chunk_rows(100, 10, 0), 1);
+        // The work-item size the targets are computed from is stable-ish:
+        // 59 params x 4 arrays of f32 plus the index/step header.
+        const { assert!(WORK_ITEM_BYTES >= 4 * 4 * 59) };
     }
 
     #[test]

@@ -51,7 +51,7 @@
 //! serial per-tile list order exactly.
 
 use crate::image::Image;
-use crate::parallel::{parallel_for_each, parallel_map};
+use crate::parallel::{parallel_for_each, parallel_map, resolve_compute_threads};
 use crate::projection::{
     project_gaussian, project_gaussian_backward, GaussianGradients, ProjectedGaussian,
     ProjectionContext, ScreenGradients, MAX_ALPHA, MIN_ALPHA,
@@ -79,10 +79,14 @@ pub struct RenderOptions {
     /// "pre-rendering frustum culling" path, §5.1).  When `None`, every
     /// Gaussian in the model is considered (the fused-culling baseline).
     pub visible: Option<Vec<u32>>,
-    /// Worker threads for the banded forward/backward kernels (clamped to
-    /// at least 1; 1 = run everything on the calling thread).  Pure
+    /// Worker threads for the banded forward/backward kernels.  `0` means
+    /// *inherit*: resolve through the process-wide default width
+    /// ([`crate::parallel::default_compute_threads`], which the runtime's
+    /// autotuner sizes to the host's effective cores) rather than silently
+    /// running serial; `1` runs everything on the calling thread.  Pure
     /// scheduling: the rendered image and the gradients are bit-identical
-    /// for every value.
+    /// for every value, and [`RenderAux`] reports the resolved count, not
+    /// the sentinel.
     pub compute_threads: usize,
     /// Height in pixels of the horizontal accumulation bands (clamped to at
     /// least 1).  This **is** part of the numeric contract: it fixes the
@@ -145,6 +149,18 @@ impl RenderAux {
     pub fn projected(&self) -> &[ProjectedGaussian] {
         &self.projected
     }
+
+    /// Band geometry the forward pass used (part of the numeric contract;
+    /// the backward pass reuses it).
+    pub fn band_height(&self) -> u32 {
+        self.band_height
+    }
+
+    /// The compute width the forward pass actually ran with — the resolved
+    /// value, never the `compute_threads = 0` "inherit" sentinel.
+    pub fn compute_threads(&self) -> usize {
+        self.compute_threads
+    }
 }
 
 /// Result of a forward render.
@@ -167,7 +183,7 @@ pub struct RenderOutput {
 pub fn render(model: &GaussianModel, camera: &Camera, options: &RenderOptions) -> RenderOutput {
     let width = camera.intrinsics.width;
     let height = camera.intrinsics.height;
-    let compute_threads = options.compute_threads.max(1);
+    let compute_threads = resolve_compute_threads(options.compute_threads);
 
     // 1. Project candidate Gaussians in parallel.  Indices are validated
     //    up front (deterministic panics), then an index-ordered map keeps
@@ -1056,6 +1072,56 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn zero_compute_threads_inherits_the_pool_default_and_reports_it() {
+        // The documented "0 = inherit" contract: the sentinel resolves
+        // through the process-wide default width instead of silently
+        // serialising, the aux reports the resolved value, and the output
+        // stays bit-identical to the serial render.
+        let model = single_gaussian_scene();
+        let cam = camera(32);
+        let serial = render(
+            &model,
+            &cam,
+            &RenderOptions {
+                compute_threads: 1,
+                ..RenderOptions::default()
+            },
+        );
+        let inherited = render(
+            &model,
+            &cam,
+            &RenderOptions {
+                compute_threads: 0,
+                ..RenderOptions::default()
+            },
+        );
+        let expected = crate::parallel::default_compute_threads();
+        assert!(expected >= 1);
+        assert_eq!(
+            inherited.aux.compute_threads(),
+            expected,
+            "aux must report the resolved width, not the 0 sentinel"
+        );
+        assert_eq!(inherited.image, serial.image);
+        assert_eq!(serial.aux.compute_threads(), 1);
+        assert_eq!(serial.aux.band_height(), DEFAULT_BAND_HEIGHT);
+        // An explicitly-set default is what 0 resolves to from then on.
+        crate::parallel::set_default_compute_threads(3);
+        let tuned = render(
+            &model,
+            &cam,
+            &RenderOptions {
+                compute_threads: 0,
+                ..RenderOptions::default()
+            },
+        );
+        assert_eq!(tuned.aux.compute_threads(), 3);
+        assert_eq!(tuned.image, serial.image);
+        crate::parallel::set_default_compute_threads(0);
+        assert_eq!(crate::parallel::default_compute_threads(), expected);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   with cross-lane dependencies, from which makespan, overlap,
 //!   utilisation and idle-rate statistics are derived;
 //! * [`metrics`] — the Nsight-style utilisation numbers reported in the
-//!   paper's Table 7 and Figure 15.
+//!   paper's Table 7 and Figure 15;
+//! * [`HostTopology`] — the probe of the *real* host the simulation runs
+//!   on (cores, caches, cgroup CPU quota), feeding the runtime's
+//!   hardware-aware autotuning.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@
 
 pub mod device;
 pub mod fault;
+pub mod host;
 pub mod memory;
 pub mod metrics;
 pub mod timeline;
@@ -44,6 +48,7 @@ pub use fault::{
     DeviceLossSpec, ExhaustionSpec, FaultPlan, FaultSink, FaultSpec, FaultStats, OpFault,
     RetryPolicy, StragglerSpec,
 };
+pub use host::{CpuVendor, HostTopology};
 pub use memory::{AllocationId, MemoryCategory, MemoryPool, OutOfMemory};
 pub use metrics::{
     gpu_idle_rate_cdf, hardware_utilization, mean_gpu_utilization, HardwareUtilization,
